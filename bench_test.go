@@ -1,0 +1,191 @@
+// Package baryon's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation section. Each benchmark regenerates its
+// experiment at a reduced access budget and reports the experiment's
+// headline metric via b.ReportMetric, so `go test -bench=. -benchmem`
+// doubles as a fast end-to-end regeneration pass. The full-budget
+// regeneration lives in cmd/experiments.
+package baryon
+
+import (
+	"testing"
+
+	"baryon/internal/config"
+	"baryon/internal/experiment"
+	"baryon/internal/trace"
+)
+
+// benchConfig returns the scaled configuration with a benchmark-friendly
+// access budget.
+func benchConfig() config.Config {
+	cfg := config.Scaled()
+	cfg.AccessesPerCore = 4000
+	return cfg
+}
+
+func BenchmarkTableI_Metadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiment.TableI()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3_StageBreakdown(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiment.Fig3a(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		// Report the mean committed-state hit ratio (the paper's headline:
+		// post-commit misses drop below ~5%).
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.Breakdown.CHits
+		}
+		b.ReportMetric(sum/float64(len(rows)), "C-hit-ratio")
+	}
+}
+
+func BenchmarkFig4_StagePhase(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, _ := experiment.Fig4(cfg)
+		if len(res.Boxes) != 10 {
+			b.Fatal("bad bucket count")
+		}
+		// The paper's claim: MPKI drops substantially from the first to the
+		// second half of the stage phase.
+		b.ReportMetric(res.Boxes[0].P50, "p50-mpki-start")
+		b.ReportMetric(res.Boxes[9].P50, "p50-mpki-end")
+	}
+}
+
+func BenchmarkFig9_CacheMode(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		m, _ := experiment.Fig9(cfg)
+		b.ReportMetric(m.GeoMean[experiment.DesignBaryon], "baryon-geomean")
+		b.ReportMetric(m.GeoMean[experiment.DesignUnison], "unison-geomean")
+		b.ReportMetric(m.GeoMean[experiment.DesignDICE], "dice-geomean")
+	}
+}
+
+func BenchmarkFig10_FlatMode(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		m, _ := experiment.Fig10(cfg)
+		b.ReportMetric(m.GeoMean[experiment.DesignBaryonFA], "fa-over-hybrid2")
+	}
+}
+
+func BenchmarkFig11_ServeBloat(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiment.Fig11(cfg)
+		if len(rows) != len(trace.All()) {
+			b.Fatal("missing workloads")
+		}
+	}
+}
+
+func BenchmarkFig12_CompressionAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiment.Fig12(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig13a_TwoLevelReplacement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig13a(cfg)
+	}
+}
+
+func BenchmarkFig13b_SuperBlockSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig13b(cfg)
+	}
+}
+
+func BenchmarkFig13c_StageSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig13c(cfg)
+	}
+}
+
+func BenchmarkFig13d_CommitPolicy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig13d(cfg)
+	}
+}
+
+func BenchmarkEnergy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, _ := experiment.Energy(cfg)
+		b.ReportMetric(res.SavingsVsUnison, "saving-vs-unison")
+		b.ReportMetric(res.SavingsVsDICE, "saving-vs-dice")
+	}
+}
+
+func BenchmarkExtra_AssocSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.AssocSweep(cfg)
+	}
+}
+
+func BenchmarkExtra_SubBlockSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.SubBlockSweep(cfg)
+	}
+}
+
+func BenchmarkExtra_CompressorComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.CompressorComparison(cfg)
+	}
+}
+
+func BenchmarkExtra_RemapCacheSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiment.RemapCacheSweep(cfg)
+		// Report the biggest cache's mean hit rate (paper: >90%).
+		sum, n := 0.0, 0
+		for _, r := range rows {
+			if r.Sets == 256 {
+				sum += r.HitRate
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "remap-hit-rate-32kB")
+		}
+	}
+}
+
+// BenchmarkSingleRun measures the simulator's own throughput on one
+// (workload, design) pair — useful for tracking the harness's performance.
+func BenchmarkSingleRun(b *testing.B) {
+	cfg := benchConfig()
+	w, _ := trace.ByName("505.mcf_r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunOne(cfg, w, experiment.DesignBaryon)
+		if res.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command baryonsim runs one workload against one hybrid-memory design and
+// prints the headline metrics plus (optionally) every raw counter.
+//
+//	go run ./cmd/baryonsim -workload 505.mcf_r -design Baryon
+//	go run ./cmd/baryonsim -workload YCSB-A -design Hybrid2 -mode flat -v
+//	go run ./cmd/baryonsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"baryon/internal/config"
+	"baryon/internal/cpu"
+	"baryon/internal/experiment"
+	"baryon/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "505.mcf_r", "workload name (see -list)")
+	workloadFile := flag.String("workload-file", "", "JSON file with a custom workload definition")
+	traceFile := flag.String("trace-file", "", "replay a recorded trace file (see cmd/tracegen -replay)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	design := flag.String("design", "Baryon", "Simple|UnisonCache|DICE|Baryon|Baryon-64B|Baryon-FA|Hybrid2")
+	mode := flag.String("mode", "cache", "cache|flat")
+	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "dump every raw counter")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.All() {
+			fmt.Printf("%-18s footprint=%.1fx fast, writeRatio=%.2f, util=%.2f\n",
+				w.Name, w.FootprintFactor, w.WriteRatio, w.BlockUtil)
+		}
+		return
+	}
+
+	var w trace.Workload
+	if *workloadFile != "" {
+		var err error
+		w, err = trace.LoadFile(*workloadFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *workloadFile, err)
+			os.Exit(2)
+		}
+	} else {
+		var ok bool
+		w, ok = trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+			os.Exit(2)
+		}
+	}
+	cfg := config.Scaled()
+	cfg.Seed = *seed
+	if *accesses > 0 {
+		cfg.AccessesPerCore = *accesses
+	}
+	if *mode == "flat" {
+		cfg.Mode = config.ModeFlat
+	}
+
+	var res cpu.Result
+	if *traceFile != "" {
+		rep, err := trace.LoadReplayFile(*traceFile, *traceFile, w.Mix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading trace: %v\n", err)
+			os.Exit(2)
+		}
+		r := cpu.NewRunnerSource(cfg, rep, experiment.Factory(*design))
+		res = r.Run()
+		res.Design = *design
+	} else {
+		res = experiment.RunOne(cfg, w, *design)
+	}
+	if *jsonOut {
+		out := map[string]any{
+			"workload":      res.Workload,
+			"design":        res.Design,
+			"mode":          cfg.Mode.String(),
+			"cycles":        res.Cycles,
+			"instructions":  res.Instructions,
+			"ipc":           res.IPC(),
+			"fastServeRate": res.FastServeRate,
+			"bloatFactor":   res.BloatFactor,
+			"fastBytes":     res.FastBytes,
+			"slowBytes":     res.SlowBytes,
+			"energyPJ":      res.EnergyPJ,
+		}
+		if *verbose {
+			counters := map[string]uint64{}
+			for _, name := range res.Stats.Names() {
+				counters[name] = res.Stats.Get(name)
+			}
+			out["counters"] = counters
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("workload:        %s\n", res.Workload)
+	fmt.Printf("design:          %s (%s mode)\n", res.Design, cfg.Mode)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("instructions:    %d (IPC %.3f)\n", res.Instructions, res.IPC())
+	fmt.Printf("fast serve rate: %.1f%%\n", 100*res.FastServeRate)
+	fmt.Printf("bloat factor:    %.2f\n", res.BloatFactor)
+	fmt.Printf("fast traffic:    %.1f MB\n", float64(res.FastBytes)/(1<<20))
+	fmt.Printf("slow traffic:    %.1f MB\n", float64(res.SlowBytes)/(1<<20))
+	fmt.Printf("memory energy:   %.2f mJ\n", res.EnergyPJ/1e9)
+	if *verbose {
+		fmt.Println("\ncounters:")
+		fmt.Print(res.Stats.String())
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. By default it runs everything; -only selects a single
+// experiment and -quick shrinks the per-core access budget for a fast pass.
+//
+//	go run ./cmd/experiments            # full regeneration (~10-20 minutes)
+//	go run ./cmd/experiments -quick     # fast pass
+//	go run ./cmd/experiments -only fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"baryon/internal/config"
+	"baryon/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use a reduced access budget per core")
+	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := config.Scaled()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.AccessesPerCore = 8000
+	}
+
+	type exp struct {
+		name string
+		run  func() *experiment.Table
+	}
+	experiments := []exp{
+		{"tablei", func() *experiment.Table { return experiment.TableI() }},
+		{"fig3a", func() *experiment.Table { _, t := experiment.Fig3a(cfg); return t }},
+		{"fig3b", func() *experiment.Table { _, t := experiment.Fig3b(cfg); return t }},
+		{"fig4", func() *experiment.Table { _, t := experiment.Fig4(cfg); return t }},
+		{"fig9", func() *experiment.Table { _, t := experiment.Fig9(cfg); return t }},
+		{"fig10", func() *experiment.Table { _, t := experiment.Fig10(cfg); return t }},
+		{"fig11", func() *experiment.Table { _, t := experiment.Fig11(cfg); return t }},
+		{"fig12", func() *experiment.Table { _, t := experiment.Fig12(cfg); return t }},
+		{"fig13a", func() *experiment.Table { _, t := experiment.Fig13a(cfg); return t }},
+		{"fig13b", func() *experiment.Table { _, t := experiment.Fig13b(cfg); return t }},
+		{"fig13c", func() *experiment.Table { _, t := experiment.Fig13c(cfg); return t }},
+		{"fig13d", func() *experiment.Table { _, t := experiment.Fig13d(cfg); return t }},
+		{"energy", func() *experiment.Table { _, t := experiment.Energy(cfg); return t }},
+		{"assoc", func() *experiment.Table { _, t := experiment.AssocSweep(cfg); return t }},
+		{"subblock", func() *experiment.Table { _, t := experiment.SubBlockSweep(cfg); return t }},
+		{"cpack", func() *experiment.Table { _, t := experiment.CompressorComparison(cfg); return t }},
+		{"remapcache", func() *experiment.Table { _, t := experiment.RemapCacheSweep(cfg); return t }},
+		{"slowmem", func() *experiment.Table { _, t := experiment.SlowMemSweep(cfg); return t }},
+		{"llcprefetch", func() *experiment.Table { _, t := experiment.PrefetchAblation(cfg); return t }},
+		{"osvshw", func() *experiment.Table { _, t := experiment.OSvsHW(cfg); return t }},
+		{"ddrfidelity", func() *experiment.Table { _, t := experiment.DDRFidelitySweep(cfg); return t }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		start := time.Now()
+		table := e.run()
+		table.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", e.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

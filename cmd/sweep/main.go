@@ -1,0 +1,98 @@
+// Command sweep runs a cartesian sweep over workloads and designs and emits
+// one CSV row per run — the raw material for custom plots and regression
+// tracking.
+//
+//	go run ./cmd/sweep -designs Baryon,DICE -workloads 505.mcf_r,pr.twi
+//	go run ./cmd/sweep -mode flat -designs Hybrid2,Baryon-FA > flat.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"baryon/internal/config"
+	"baryon/internal/experiment"
+	"baryon/internal/trace"
+)
+
+func main() {
+	designs := flag.String("designs", "Simple,UnisonCache,DICE,Baryon-64B,Baryon",
+		"comma-separated design list")
+	workloads := flag.String("workloads", "", "comma-separated workload list (default: all)")
+	mode := flag.String("mode", "cache", "cache|flat")
+	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
+	seeds := flag.String("seeds", "1", "comma-separated seeds (rows per seed)")
+	flag.Parse()
+
+	cfg := config.Scaled()
+	if *accesses > 0 {
+		cfg.AccessesPerCore = *accesses
+	}
+	if *mode == "flat" {
+		cfg.Mode = config.ModeFlat
+	}
+
+	var ws []trace.Workload
+	if *workloads == "" {
+		ws = trace.All()
+	} else {
+		for _, name := range strings.Split(*workloads, ",") {
+			w, ok := trace.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	var seedList []uint64
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad seed %q\n", s)
+			os.Exit(2)
+		}
+		seedList = append(seedList, v)
+	}
+
+	out := csv.NewWriter(os.Stdout)
+	defer out.Flush()
+	header := []string{"workload", "design", "mode", "seed", "cycles",
+		"instructions", "ipc", "fastServeRate", "bloatFactor",
+		"fastBytes", "slowBytes", "energyPJ"}
+	if err := out.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, seed := range seedList {
+		cfg.Seed = seed
+		for _, w := range ws {
+			for _, d := range strings.Split(*designs, ",") {
+				d = strings.TrimSpace(d)
+				res := experiment.RunOne(cfg, w, d)
+				row := []string{
+					res.Workload, d, cfg.Mode.String(),
+					strconv.FormatUint(seed, 10),
+					strconv.FormatUint(res.Cycles, 10),
+					strconv.FormatUint(res.Instructions, 10),
+					fmt.Sprintf("%.4f", res.IPC()),
+					fmt.Sprintf("%.4f", res.FastServeRate),
+					fmt.Sprintf("%.4f", res.BloatFactor),
+					strconv.FormatUint(res.FastBytes, 10),
+					strconv.FormatUint(res.SlowBytes, 10),
+					fmt.Sprintf("%.0f", res.EnergyPJ),
+				}
+				if err := out.Write(row); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				out.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module baryon
+
+go 1.22

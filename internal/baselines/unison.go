@@ -1,0 +1,219 @@
+package baselines
+
+import (
+	"math/bits"
+
+	"baryon/internal/hybrid"
+	"baryon/internal/mem"
+	"baryon/internal/sim"
+)
+
+// Unison models Unison Cache (Jevdjic et al., MICRO 2014): a die-stacked
+// DRAM cache with 2 kB blocks, 64 B sub-blocking driven by a footprint
+// history table, embedded-in-DRAM tags and a way predictor. No compression.
+//
+//   - On a block miss, the predicted footprint (from the history table,
+//     keyed by the block address) is fetched, not the whole block.
+//   - On eviction, the block's observed footprint updates the history.
+//   - Tags live in DRAM: a hit costs one fast-memory access that returns tag
+//     and data together when the way predictor is right, and an extra access
+//     when it is wrong.
+type Unison struct {
+	fast, slow *mem.Device
+	store      *hybrid.Store
+	stats      *sim.Stats
+	rng        *sim.RNG
+
+	sets  []unisonSet
+	assoc int
+	seq   uint64
+
+	// Footprint history. Unison indexes its footprint history table by
+	// (PC, page offset) so footprints generalise across pages of the same
+	// access pattern; traces carry no PCs, so the same generalisation is
+	// approximated with two levels: an exact per-block table, and a
+	// class table keyed by the block's first-touched sub-block offset,
+	// which captures "streaming pages touched from offset k onward".
+	history      map[uint64]uint32
+	classHistory [32]uint32
+
+	accesses, blockHits, subHits, subMisses, blockMisses *sim.Counter
+	wayMispredicts, writebacks, servedFast               *sim.Counter
+}
+
+type unisonSet struct {
+	ways []unisonWay
+}
+
+type unisonWay struct {
+	block    uint64
+	valid    bool
+	present  uint32 // 64 B sub-blocks present (32 per 2 kB block)
+	dirty    uint32
+	accessed uint32 // observed footprint for history update
+	firstSub uint8  // first-touched sub (class-history key)
+	lastUse  uint64
+}
+
+// wayPredictAccuracy is the optimistic way-predictor hit rate the paper
+// grants Unison's enlarged SRAM structures.
+const wayPredictAccuracy = 0.95
+
+// unisonSub is the 64 B sub-block size of Unison Cache.
+const unisonSub = 64
+
+// NewUnison builds the Unison baseline.
+func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Stats, seed uint64) *Unison {
+	u := &Unison{
+		store: store, stats: stats, assoc: assoc,
+		fast:    mem.NewDevice(mem.DDR4Config(), stats),
+		slow:    mem.NewDevice(mem.NVMConfig(), stats),
+		rng:     sim.NewRNG(seed ^ 0x0550A11),
+		history: make(map[uint64]uint32),
+	}
+	nsets := fastBlocks / uint64(assoc)
+	if nsets == 0 {
+		nsets = 1
+	}
+	u.sets = make([]unisonSet, nsets)
+	for i := range u.sets {
+		u.sets[i] = unisonSet{ways: make([]unisonWay, assoc)}
+	}
+	u.accesses = stats.Counter("unison.accesses")
+	u.blockHits = stats.Counter("unison.blockHits")
+	u.subHits = stats.Counter("unison.subHits")
+	u.subMisses = stats.Counter("unison.subMisses")
+	u.blockMisses = stats.Counter("unison.blockMisses")
+	u.wayMispredicts = stats.Counter("unison.wayMispredicts")
+	u.writebacks = stats.Counter("unison.writebacks")
+	u.servedFast = stats.Counter("unison.servedFast")
+	return u
+}
+
+// Name identifies the design.
+func (u *Unison) Name() string { return "UnisonCache" }
+
+// Stats returns the counter collection.
+func (u *Unison) Stats() *sim.Stats { return u.stats }
+
+// FastDevice returns the DDR4 device model.
+func (u *Unison) FastDevice() *mem.Device { return u.fast }
+
+// SlowDevice returns the NVM device model.
+func (u *Unison) SlowDevice() *mem.Device { return u.slow }
+
+func (u *Unison) frameAddr(set uint64, way int) uint64 {
+	return (set*uint64(u.assoc) + uint64(way)) * hybrid.BlockSize
+}
+
+// Access implements hybrid.Controller.
+func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid.Result {
+	u.seq++
+	u.accesses.Inc()
+	block := addr / hybrid.BlockSize
+	sub := uint(addr % hybrid.BlockSize / unisonSub)
+	setIdx := block % uint64(len(u.sets))
+	set := &u.sets[setIdx]
+
+	if write {
+		u.store.WriteLine(addr, data)
+	}
+
+	for w := range set.ways {
+		way := &set.ways[w]
+		if !way.valid || way.block != block {
+			continue
+		}
+		u.blockHits.Inc()
+		way.lastUse = u.seq
+		way.accessed |= 1 << sub
+		if way.present&(1<<sub) != 0 {
+			u.subHits.Inc()
+			// Tag+data come back in one access when the way predictor is
+			// right; a mispredict costs a second fast-memory probe.
+			t := now
+			if !u.rng.Bool(wayPredictAccuracy) {
+				u.wayMispredicts.Inc()
+				t = u.fast.Access(t, u.frameAddr(setIdx, w), 64, false)
+			}
+			if write {
+				way.dirty |= 1 << sub
+				u.fast.AccessBackground(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+				return hybrid.Result{Done: now}
+			}
+			done := u.fast.Access(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, false)
+			u.servedFast.Inc()
+			return hybrid.Result{Done: done, ServedByFast: true, Data: u.store.Line(addr)}
+		}
+		// Sub-block miss within an allocated block: fetch just the sub.
+		// The growing footprint feeds the class history incrementally so
+		// prediction works before the first evictions.
+		u.subMisses.Inc()
+		way.present |= 1 << sub
+		u.classHistory[way.firstSub] = way.accessed
+		if write {
+			way.dirty |= 1 << sub
+			u.fast.AccessBackground(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+			return hybrid.Result{Done: now}
+		}
+		done := u.slow.Access(now, addr, 64, false)
+		u.fast.AccessBackground(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+		return hybrid.Result{Done: done, Data: u.store.Line(addr)}
+	}
+
+	// Block miss: tags are embedded in DRAM, so discovering the miss costs
+	// one fast-memory probe; then allocate with the predicted footprint.
+	u.blockMisses.Inc()
+	probe := u.fast.Access(now, u.frameAddr(setIdx, 0), 64, false)
+	var res hybrid.Result
+	if write {
+		res = hybrid.Result{Done: now}
+	} else {
+		done := u.slow.Access(probe, addr, 64, false)
+		res = hybrid.Result{Done: done, Data: u.store.Line(addr)}
+	}
+
+	victim := 0
+	for w := range set.ways {
+		if !set.ways[w].valid {
+			victim = w
+			break
+		}
+		if set.ways[w].lastUse < set.ways[victim].lastUse {
+			victim = w
+		}
+	}
+	v := &set.ways[victim]
+	if v.valid {
+		// Update both history levels and write dirty sub-blocks back.
+		u.history[v.block] = v.accessed
+		u.classHistory[v.firstSub] = v.accessed
+		if v.dirty != 0 {
+			u.writebacks.Inc()
+			u.slow.AccessBackground(now, v.block*hybrid.BlockSize, uint64(bits.OnesCount32(v.dirty))*unisonSub, true)
+		}
+	}
+
+	footprint, ok := u.history[block]
+	if !ok || footprint == 0 {
+		footprint = u.classHistory[sub] // generalise across like pages
+	}
+	footprint |= 1 << sub
+	n := uint64(bits.OnesCount32(footprint))
+	u.slow.AccessBackground(now, block*hybrid.BlockSize, n*unisonSub, false)
+	u.fast.AccessBackground(now, u.frameAddr(setIdx, victim), n*unisonSub, true)
+	// Tags and footprint metadata are embedded in DRAM: allocations update
+	// them with an extra write (Unison's tag-update bandwidth).
+	u.fast.AccessBackground(now, u.frameAddr(setIdx, victim), 64, true)
+	set.ways[victim] = unisonWay{
+		block: block, valid: true,
+		present: footprint, accessed: 1 << sub, firstSub: uint8(sub), lastUse: u.seq,
+	}
+	if write {
+		set.ways[victim].dirty = 1 << sub
+	}
+	return res
+}
+
+// PeekLine implements hybrid.DataPeeker.
+func (u *Unison) PeekLine(addr uint64) []byte { return u.store.Line(addr) }

@@ -1,0 +1,165 @@
+// Package cache models the processor-side cache hierarchy of Table I:
+// per-core L1/L2 and a shared, inclusive LLC with back-invalidation, all
+// metadata-only (the functional data plane lives in the memory controller
+// and the run harness). Dirty LLC evictions become memory-controller writes;
+// LLC misses become controller reads; decompression by-products can be
+// installed as free prefetches (Section III-E, memory-to-LLC prefetching).
+package cache
+
+import (
+	"baryon/internal/hybrid"
+	"baryon/internal/sim"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency uint64 // access latency in cycles
+}
+
+type entry struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Cache is one set-associative, LRU, write-back cache level.
+type Cache struct {
+	cfg  Config
+	sets [][]entry
+	tick uint64
+
+	hits, misses *sim.Counter
+}
+
+// New builds a cache and registers hit/miss counters in stats.
+func New(cfg Config, stats *sim.Stats) *Cache {
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]entry, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]entry, cfg.Ways)
+	}
+	c.hits = stats.Counter(cfg.Name + ".hits")
+	c.misses = stats.Counter(cfg.Name + ".misses")
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint64) uint64 {
+	return (addr / hybrid.CachelineSize) % uint64(c.cfg.Sets)
+}
+
+func (c *Cache) find(addr uint64) *entry {
+	set := c.sets[c.index(addr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access looks up the line at addr (line-aligned), updating LRU and
+// counters. If write is true and the line hits, it is marked dirty.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.tick++
+	if e := c.find(addr); e != nil {
+		e.lastUse = c.tick
+		if write {
+			e.dirty = true
+		}
+		c.hits.Inc()
+		return true
+	}
+	c.misses.Inc()
+	return false
+}
+
+// Probe reports presence without LRU or counter side effects.
+func (c *Cache) Probe(addr uint64) bool { return c.find(addr) != nil }
+
+// Victim describes a line displaced by Install.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Install inserts the line at addr (line-aligned), evicting the LRU way if
+// the set is full. It returns the displaced victim, if any. Installing an
+// already-present line just refreshes it.
+func (c *Cache) Install(addr uint64, dirty bool) Victim {
+	c.tick++
+	if e := c.find(addr); e != nil {
+		e.lastUse = c.tick
+		e.dirty = e.dirty || dirty
+		return Victim{}
+	}
+	set := c.sets[c.index(addr)]
+	victimIdx := 0
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+		if set[i].lastUse < set[victimIdx].lastUse {
+			victimIdx = i
+		}
+	}
+	v := Victim{}
+	if set[victimIdx].valid {
+		v = Victim{Addr: set[victimIdx].tag, Dirty: set[victimIdx].dirty, Valid: true}
+	}
+	set[victimIdx] = entry{tag: addr, valid: true, dirty: dirty, lastUse: c.tick}
+	return v
+}
+
+// MarkDirty sets the dirty bit if the line is present and reports presence.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	if e := c.find(addr); e != nil {
+		e.dirty = true
+		return true
+	}
+	return false
+}
+
+// Invalidate removes the line if present, reporting (present, wasDirty).
+func (c *Cache) Invalidate(addr uint64) (bool, bool) {
+	if e := c.find(addr); e != nil {
+		dirty := e.dirty
+		*e = entry{}
+		return true, dirty
+	}
+	return false, false
+}
+
+// DirtyLines returns the addresses of all dirty lines (used by Flush).
+func (c *Cache) DirtyLines() []uint64 {
+	var out []uint64
+	for _, set := range c.sets {
+		for _, e := range set {
+			if e.valid && e.dirty {
+				out = append(out, e.tag)
+			}
+		}
+	}
+	return out
+}
+
+// Lines returns the addresses of all valid lines.
+func (c *Cache) Lines() []uint64 {
+	var out []uint64
+	for _, set := range c.sets {
+		for _, e := range set {
+			if e.valid {
+				out = append(out, e.tag)
+			}
+		}
+	}
+	return out
+}

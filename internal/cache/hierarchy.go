@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"baryon/internal/hybrid"
+	"baryon/internal/sim"
+)
+
+// HierarchyConfig sizes the cache levels. Sets/ways follow Table I; the LLC
+// is scaled with the memory system (see internal/config).
+type HierarchyConfig struct {
+	Cores int
+	L1    Config // per core
+	L2    Config // per core
+	LLC   Config // shared, inclusive
+	// InstallPrefetched controls whether decompression by-products are
+	// installed in the LLC (memory-to-LLC prefetching, Section III-E).
+	InstallPrefetched bool
+}
+
+// DefaultHierarchy returns the Table I hierarchy scaled by llcKB (Table I
+// uses 16 MB for a 4 GB fast memory; scaled runs shrink it proportionally).
+func DefaultHierarchy(cores, llcKB int) HierarchyConfig {
+	llcLines := llcKB * 1024 / hybrid.CachelineSize
+	return HierarchyConfig{
+		Cores: cores,
+		// L1D: 8-way 64 kB, 4-cycle.
+		L1: Config{Name: "L1", Sets: 128, Ways: 8, Latency: 4},
+		// L2: 8-way 1 MB, 9-cycle (scaled to 64 kB per core to keep the
+		// L2:LLC ratio at scaled memory sizes).
+		L2: Config{Name: "L2", Sets: 128, Ways: 8, Latency: 9},
+		// LLC: 16-way shared, 38-cycle.
+		LLC:               Config{Name: "LLC", Sets: llcLines / 16, Ways: 16, Latency: 38},
+		InstallPrefetched: true,
+	}
+}
+
+// Hierarchy drives per-core L1/L2 and a shared LLC in front of one memory
+// controller. LineData supplies the current functional content of a line for
+// dirty writebacks (owned by the run harness).
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l1   []*Cache
+	l2   []*Cache
+	llc  *Cache
+	ctrl hybrid.Controller
+
+	// LineData returns the 64 B functional content of a line for writebacks.
+	LineData func(addr uint64) []byte
+
+	llcMisses, llcWritebacks, prefetchInstalls *sim.Counter
+	demandLines, servedFast, servedSlow        *sim.Counter
+}
+
+// NewHierarchy builds the cache stack in front of ctrl.
+func NewHierarchy(cfg HierarchyConfig, ctrl hybrid.Controller, stats *sim.Stats) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, ctrl: ctrl}
+	h.l1 = make([]*Cache, cfg.Cores)
+	h.l2 = make([]*Cache, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = New(Config{Name: cfg.L1.Name, Sets: cfg.L1.Sets, Ways: cfg.L1.Ways, Latency: cfg.L1.Latency}, sim.NewStats())
+		h.l2[i] = New(Config{Name: cfg.L2.Name, Sets: cfg.L2.Sets, Ways: cfg.L2.Ways, Latency: cfg.L2.Latency}, sim.NewStats())
+	}
+	h.llc = New(cfg.LLC, stats)
+	h.llcMisses = stats.Counter("hierarchy.llcMisses")
+	h.llcWritebacks = stats.Counter("hierarchy.llcWritebacks")
+	h.prefetchInstalls = stats.Counter("hierarchy.prefetchInstalls")
+	h.demandLines = stats.Counter("hierarchy.demandLines")
+	h.servedFast = stats.Counter("hierarchy.servedFast")
+	h.servedSlow = stats.Counter("hierarchy.servedSlow")
+	return h
+}
+
+// Controller returns the memory controller behind the hierarchy.
+func (h *Hierarchy) Controller() hybrid.Controller { return h.ctrl }
+
+// Access performs one 64 B load or store for core at cycle now and returns
+// the completion cycle. Stores are write-allocate; the caller is responsible
+// for updating the functional data plane.
+func (h *Hierarchy) Access(core int, now uint64, addr uint64, write bool) uint64 {
+	addr = hybrid.LineAddr(addr)
+	h.demandLines.Inc()
+	l1, l2 := h.l1[core], h.l2[core]
+
+	if l1.Access(addr, write) {
+		return now + h.cfg.L1.Latency
+	}
+	lat := h.cfg.L1.Latency
+	if l2.Access(addr, false) {
+		h.fillL1(core, addr, write, now)
+		return now + lat + h.cfg.L2.Latency
+	}
+	lat += h.cfg.L2.Latency
+	if h.llc.Access(addr, false) {
+		h.fillL2(core, addr, now)
+		h.fillL1(core, addr, write, now)
+		return now + lat + h.cfg.LLC.Latency
+	}
+	lat += h.cfg.LLC.Latency
+	h.llcMisses.Inc()
+
+	res := h.ctrl.Access(now+lat, addr, false, nil)
+	if res.ServedByFast {
+		h.servedFast.Inc()
+	} else {
+		h.servedSlow.Inc()
+	}
+	h.installLLC(addr, false, now)
+	if h.cfg.InstallPrefetched {
+		for _, p := range res.Prefetched {
+			if p.Addr != addr && !h.llc.Probe(p.Addr) {
+				h.installLLC(p.Addr, false, now)
+				h.prefetchInstalls.Inc()
+			}
+		}
+	}
+	h.fillL2(core, addr, now)
+	h.fillL1(core, addr, write, now)
+	return res.Done
+}
+
+// fillL1 installs into a core's L1; a displaced dirty victim propagates its
+// dirtiness to the L2 copy (present by inclusion).
+func (h *Hierarchy) fillL1(core int, addr uint64, dirty bool, now uint64) {
+	v := h.l1[core].Install(addr, dirty)
+	if v.Valid && v.Dirty {
+		if !h.l2[core].MarkDirty(v.Addr) {
+			// Inclusion was broken by a concurrent back-invalidate path;
+			// write the line back directly.
+			h.writeback(v.Addr, now)
+		}
+	}
+}
+
+// fillL2 installs into a core's L2, back-invalidating the L1 copy of any
+// displaced victim and propagating dirtiness to the LLC.
+func (h *Hierarchy) fillL2(core int, addr uint64, now uint64) {
+	v := h.l2[core].Install(addr, false)
+	if !v.Valid {
+		return
+	}
+	_, l1Dirty := h.l1[core].Invalidate(v.Addr)
+	if v.Dirty || l1Dirty {
+		if !h.llc.MarkDirty(v.Addr) {
+			h.writeback(v.Addr, now)
+		}
+	}
+}
+
+// installLLC installs into the shared LLC, back-invalidating all upper-level
+// copies of the victim and writing it back if dirty anywhere.
+func (h *Hierarchy) installLLC(addr uint64, dirty bool, now uint64) {
+	v := h.llc.Install(addr, dirty)
+	if !v.Valid {
+		return
+	}
+	anyDirty := v.Dirty
+	for core := 0; core < h.cfg.Cores; core++ {
+		if _, d := h.l1[core].Invalidate(v.Addr); d {
+			anyDirty = true
+		}
+		if _, d := h.l2[core].Invalidate(v.Addr); d {
+			anyDirty = true
+		}
+	}
+	if anyDirty {
+		h.writeback(v.Addr, now)
+	}
+}
+
+func (h *Hierarchy) writeback(addr uint64, now uint64) {
+	h.llcWritebacks.Inc()
+	var data []byte
+	if h.LineData != nil {
+		data = h.LineData(addr)
+	}
+	h.ctrl.Access(now, addr, true, data)
+}
+
+// Flush writes every dirty line in the hierarchy back to the memory
+// controller and invalidates all levels, leaving the controller's data plane
+// equal to the functional image. Used by integrity tests and at end of runs.
+func (h *Hierarchy) Flush(now uint64) {
+	seen := make(map[uint64]bool)
+	for core := 0; core < h.cfg.Cores; core++ {
+		for _, a := range h.l1[core].DirtyLines() {
+			seen[a] = true
+		}
+		for _, a := range h.l2[core].DirtyLines() {
+			seen[a] = true
+		}
+	}
+	for _, a := range h.llc.DirtyLines() {
+		seen[a] = true
+	}
+	for a := range seen {
+		h.writeback(a, now)
+	}
+	for core := 0; core < h.cfg.Cores; core++ {
+		for _, a := range h.l1[core].Lines() {
+			h.l1[core].Invalidate(a)
+		}
+		for _, a := range h.l2[core].Lines() {
+			h.l2[core].Invalidate(a)
+		}
+	}
+	for _, a := range h.llc.Lines() {
+		h.llc.Invalidate(a)
+	}
+}

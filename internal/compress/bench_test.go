@@ -1,0 +1,66 @@
+package compress
+
+import (
+	"testing"
+
+	"baryon/internal/sim"
+)
+
+func benchLines(class int) [][]byte {
+	rng := sim.NewRNG(uint64(class) + 1)
+	out := make([][]byte, 64)
+	for i := range out {
+		out[i] = randomLine(rng)
+	}
+	return out
+}
+
+func BenchmarkFPCCompressedSize(b *testing.B) {
+	var fpc FPC
+	lines := benchLines(0)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fpc.CompressedSize(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	var fpc FPC
+	lines := benchLines(1)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fpc.Compress(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkBDICompressedSize(b *testing.B) {
+	var bdi BDI
+	lines := benchLines(2)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		bdi.CompressedSize(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkBDIRoundTrip(b *testing.B) {
+	var bdi BDI
+	lines := benchLines(3)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		line := lines[i%len(lines)]
+		bdi.Decompress(bdi.Compress(line), 64)
+	}
+}
+
+func BenchmarkRangeFitsAligned(b *testing.B) {
+	c := New(true)
+	rng := sim.NewRNG(9)
+	data := make([]byte, 1024)
+	for off := 0; off < len(data); off += 64 {
+		copy(data[off:], randomLine(rng))
+	}
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		c.RangeFits(data, 4)
+	}
+}

@@ -1,0 +1,68 @@
+// Package compress implements the two hardware compression algorithms Baryon
+// uses — FPC (Frequent Pattern Compression, Alameldeen & Wood) and BDI
+// (Base-Delta-Immediate, Pekhimenko et al.) — plus the best-of-both selector,
+// the quantised compression factors (CF in {1,2,4}) and the cacheline-aligned
+// compression mode of Section III-E of the paper.
+//
+// Both algorithms are implemented for real: Compress produces a byte stream
+// and Decompress reconstructs the original data exactly, which lets the test
+// suite verify round-trips by property testing rather than trusting size
+// formulas. The simulator's hot path only needs CompressedSize, which avoids
+// materialising the streams.
+package compress
+
+// bitWriter accumulates a big-endian bit stream.
+type bitWriter struct {
+	buf  []byte
+	nbit uint // bits used in the last byte (0..7), 0 means byte boundary
+}
+
+// writeBits appends the low n bits of v (n <= 64), most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := 8 - w.nbit
+		take := n
+		if take > free {
+			take = free
+		}
+		shift := n - take
+		bits := byte((v >> shift) & ((1 << take) - 1))
+		w.buf[len(w.buf)-1] |= bits << (free - take)
+		w.nbit = (w.nbit + take) % 8
+		n -= take
+	}
+}
+
+// bytes returns the accumulated stream.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes a big-endian bit stream produced by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit position
+}
+
+// readBits returns the next n bits (n <= 64), most significant first.
+func (r *bitReader) readBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos / 8
+		bitIdx := r.pos % 8
+		if int(byteIdx) >= len(r.buf) {
+			return v << n // ran off the end: zero-fill (callers validate sizes)
+		}
+		free := 8 - bitIdx
+		take := n
+		if take > free {
+			take = free
+		}
+		bits := (uint64(r.buf[byteIdx]) >> (free - take)) & ((1 << take) - 1)
+		v = (v << take) | bits
+		r.pos += take
+		n -= take
+	}
+	return v
+}

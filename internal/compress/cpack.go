@@ -1,0 +1,180 @@
+package compress
+
+import "encoding/binary"
+
+// CPack implements the C-Pack cache compression algorithm (Chen et al.,
+// IEEE TVLSI 2010), the main alternative the paper cites to FPC/BDI
+// (reference [13]). C-Pack combines static patterns for zero and
+// low-magnitude words with a small FIFO dictionary of recently seen words,
+// matched fully or partially (upper 2 or 3 bytes).
+//
+// Pattern codes (per 32-bit word):
+//
+//	00            zzzz  all-zero word
+//	01   + 32     xxxx  uncompressed word (pushed into the dictionary)
+//	10   + 4      mmmm  full dictionary match (index)
+//	1100 + 4+16   mmxx  dictionary match on the upper 2 bytes
+//	1101 + 8      zzzx  only the low byte is non-zero
+//	1110 + 4+8    mmmx  dictionary match on the upper 3 bytes
+//
+// Words encoded as xxxx, mmxx or mmmx are pushed into the 16-entry FIFO
+// dictionary, mirroring the hardware's behaviour, so the decompressor can
+// rebuild the dictionary in lockstep.
+type CPack struct{}
+
+// Name returns the algorithm name.
+func (CPack) Name() string { return "C-Pack" }
+
+const cpackDictSize = 16
+
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int // valid entries
+	head    int // next FIFO slot
+}
+
+func (d *cpackDict) push(w uint32) {
+	d.entries[d.head] = w
+	d.head = (d.head + 1) % cpackDictSize
+	if d.n < cpackDictSize {
+		d.n++
+	}
+}
+
+// match returns the best dictionary match for w: 2 = full, 1 = upper three
+// bytes, 0 = upper two bytes, -1 = none, plus the index.
+func (d *cpackDict) match(w uint32) (kind, idx int) {
+	kind, idx = -1, 0
+	for i := 0; i < d.n; i++ {
+		e := d.entries[i]
+		switch {
+		case e == w:
+			return 2, i
+		case e&0xFFFFFF00 == w&0xFFFFFF00 && kind < 1:
+			kind, idx = 1, i
+		case e&0xFFFF0000 == w&0xFFFF0000 && kind < 0:
+			kind, idx = 0, i
+		}
+	}
+	return kind, idx
+}
+
+// wordBits returns the encoded size in bits of one word and updates dict.
+func cpackWordBits(w uint32, d *cpackDict) int {
+	switch {
+	case w == 0:
+		return 2
+	case w&0xFFFFFF00 == 0:
+		return 4 + 8 // zzzx
+	}
+	kind, _ := d.match(w)
+	switch kind {
+	case 2:
+		return 2 + 4
+	case 1:
+		d.push(w)
+		return 4 + 4 + 8
+	case 0:
+		d.push(w)
+		return 4 + 4 + 16
+	default:
+		d.push(w)
+		return 2 + 32
+	}
+}
+
+// CompressedSize returns the C-Pack encoding size in bytes. len(data) must
+// be a multiple of 4.
+func (CPack) CompressedSize(data []byte) int {
+	var d cpackDict
+	bits := 0
+	for off := 0; off+4 <= len(data); off += 4 {
+		bits += cpackWordBits(binary.LittleEndian.Uint32(data[off:]), &d)
+	}
+	return (bits + 7) / 8
+}
+
+// C-Pack stream opcodes for the explicit encoder/decoder.
+const (
+	cpZZZZ = 0x0 // 00
+	cpMMMM = 0x2 // 10
+	cpXXXX = 0x1 // 01
+	cpMMXX = 0xC // 1100
+	cpZZZX = 0xD // 1101
+	cpMMMX = 0xE // 1110
+)
+
+// Compress encodes data into a C-Pack bit stream.
+func (CPack) Compress(data []byte) []byte {
+	var d cpackDict
+	w := &bitWriter{}
+	for off := 0; off+4 <= len(data); off += 4 {
+		word := binary.LittleEndian.Uint32(data[off:])
+		switch {
+		case word == 0:
+			w.writeBits(cpZZZZ, 2)
+			continue
+		case word&0xFFFFFF00 == 0:
+			w.writeBits(cpZZZX, 4)
+			w.writeBits(uint64(word&0xFF), 8)
+			continue
+		}
+		kind, idx := d.match(word)
+		switch kind {
+		case 2:
+			w.writeBits(cpMMMM, 2)
+			w.writeBits(uint64(idx), 4)
+		case 1:
+			w.writeBits(cpMMMX, 4)
+			w.writeBits(uint64(idx), 4)
+			w.writeBits(uint64(word&0xFF), 8)
+			d.push(word)
+		case 0:
+			w.writeBits(cpMMXX, 4)
+			w.writeBits(uint64(idx), 4)
+			w.writeBits(uint64(word&0xFFFF), 16)
+			d.push(word)
+		default:
+			w.writeBits(cpXXXX, 2)
+			w.writeBits(uint64(word), 32)
+			d.push(word)
+		}
+	}
+	return w.bytes()
+}
+
+// Decompress reconstructs origLen bytes from a C-Pack stream.
+func (CPack) Decompress(comp []byte, origLen int) []byte {
+	var d cpackDict
+	r := &bitReader{buf: comp}
+	out := make([]byte, origLen)
+	for off := 0; off+4 <= origLen; off += 4 {
+		var word uint32
+		switch r.readBits(2) {
+		case cpZZZZ:
+			word = 0
+		case cpMMMM:
+			word = d.entries[r.readBits(4)]
+		case cpXXXX:
+			word = uint32(r.readBits(32))
+			d.push(word)
+		default: // 11xx: one more bit selects among the 4-bit opcodes
+			switch r.readBits(2) {
+			case 0: // 1100 mmxx
+				idx := r.readBits(4)
+				low := r.readBits(16)
+				word = d.entries[idx]&0xFFFF0000 | uint32(low)
+				d.push(word)
+			case 1: // 1101 zzzx
+				word = uint32(r.readBits(8))
+			case 2: // 1110 mmmx
+				idx := r.readBits(4)
+				low := r.readBits(8)
+				word = d.entries[idx]&0xFFFFFF00 | uint32(low)
+				d.push(word)
+			}
+		}
+		binary.LittleEndian.PutUint32(out[off:], word)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"baryon/internal/sim"
+)
+
+func TestCPackRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(31)
+	var cp CPack
+	for i := 0; i < 3000; i++ {
+		n := (rng.Intn(64) + 1) * 4
+		data := make([]byte, n)
+		for off := 0; off < n; off += 64 {
+			end := off + 64
+			if end > n {
+				end = n
+			}
+			copy(data[off:end], randomLine(rng))
+		}
+		comp := cp.Compress(data)
+		got := cp.Decompress(comp, n)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("iter %d: C-Pack round trip mismatch (n=%d)\n in=%x\nout=%x", i, n, data, got)
+		}
+		if want := cp.CompressedSize(data); want != len(comp) {
+			t.Fatalf("iter %d: CompressedSize=%d but stream is %d bytes", i, want, len(comp))
+		}
+	}
+}
+
+func TestCPackRoundTripQuick(t *testing.T) {
+	var cp CPack
+	f := func(raw [64]byte) bool {
+		data := raw[:]
+		return bytes.Equal(cp.Decompress(cp.Compress(data), 64), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPackZeroLine(t *testing.T) {
+	var cp CPack
+	zero := make([]byte, 64)
+	// 16 zero words x 2 bits = 32 bits = 4 bytes.
+	if sz := cp.CompressedSize(zero); sz != 4 {
+		t.Fatalf("zero line compresses to %d bytes, want 4", sz)
+	}
+}
+
+func TestCPackDictionaryMatching(t *testing.T) {
+	var cp CPack
+	// A line of one repeated 32-bit value: first word xxxx (34 bits), the
+	// remaining 15 full matches (6 bits each) = 124 bits = 16 bytes.
+	data := make([]byte, 64)
+	for off := 0; off < 64; off += 4 {
+		binary.LittleEndian.PutUint32(data[off:], 0xDEADBEEF)
+	}
+	if sz := cp.CompressedSize(data); sz != 16 {
+		t.Fatalf("repeated line compresses to %d bytes, want 16", sz)
+	}
+	if !bytes.Equal(cp.Decompress(cp.Compress(data), 64), data) {
+		t.Fatal("repeated line round trip failed")
+	}
+}
+
+func TestCPackPartialMatch(t *testing.T) {
+	var cp CPack
+	// Words sharing the upper three bytes: one xxxx then mmmx (16 bits).
+	data := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(data[i*4:], 0xABCDEF00|uint32(i))
+	}
+	sz := cp.CompressedSize(data)
+	if sz > 36 { // 34 + 15*16 bits = 274 bits = 35 bytes
+		t.Fatalf("partial-match line compresses to %d bytes, want <= 36", sz)
+	}
+	if !bytes.Equal(cp.Decompress(cp.Compress(data), 64), data) {
+		t.Fatal("partial-match round trip failed")
+	}
+}
+
+func TestCPackLowByteWords(t *testing.T) {
+	var cp CPack
+	data := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(data[i*4:], uint32(i+1))
+	}
+	// Each word is zzzx: 12 bits -> 192 bits = 24 bytes.
+	if sz := cp.CompressedSize(data); sz != 24 {
+		t.Fatalf("low-byte line compresses to %d bytes, want 24", sz)
+	}
+}
+
+// TestCPackCompetitive sanity-checks that C-Pack lands in the same
+// compressibility ballpark as FPC/BDI on mixed content.
+func TestCPackCompetitive(t *testing.T) {
+	rng := sim.NewRNG(33)
+	var cp CPack
+	var fpc FPC
+	var bdi BDI
+	cpTotal, bestTotal := 0, 0
+	for i := 0; i < 500; i++ {
+		line := randomLine(rng)
+		c := cp.CompressedSize(line)
+		f := fpc.CompressedSize(line)
+		bd := bdi.CompressedSize(line)
+		best := f
+		if bd < best {
+			best = bd
+		}
+		cpTotal += c
+		bestTotal += best
+	}
+	if float64(cpTotal) > 1.5*float64(bestTotal) {
+		t.Fatalf("C-Pack (%d) far worse than best-of-FPC/BDI (%d)", cpTotal, bestTotal)
+	}
+}

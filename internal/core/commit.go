@@ -1,0 +1,490 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"baryon/internal/config"
+	"baryon/internal/metadata"
+)
+
+// This file implements the selective commit policy (Section III-E, Eq. 1),
+// the commit operation itself (layout sorting and the compact remap format
+// of Rule 4), fast-area evictions, and the flat-scheme swap mechanics of
+// Section III-F.
+
+// finishStageFrame retires stage frame (ssi, w): it either commits the frame
+// to the cache/flat area or evicts it to slow memory, then clears it.
+func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
+	sset := &c.stageSets[ssi]
+	fr := &sset.ways[w]
+	if !fr.tag.Valid {
+		return
+	}
+	c.emitStagePhase(fr)
+
+	si := c.setIdx(fr.tag.Super)
+	set := &c.sets[si]
+
+	slotsNeeded := 0
+	dirtyStage := 0
+	for _, rg := range fr.tag.Slots {
+		if rg.Valid && !rg.Zero {
+			slotsNeeded++
+			if rg.Dirty {
+				dirtyStage++
+			}
+		}
+	}
+
+	// Target selection: append into a frame already holding this super-block
+	// when it has room (this is how one super-block ends up spanning
+	// multiple physical blocks only when needed), else the area's
+	// replacement victim (LRU for low-associative, FIFO for fully
+	// associative, Section III-E).
+	appendW := -1
+	for wi := range set.ways {
+		if set.ways[wi].valid && set.ways[wi].super == fr.tag.Super &&
+			len(set.ways[wi].occ)+slotsNeeded <= 8 {
+			appendW = wi
+			break
+		}
+	}
+	victimW := appendW
+	dirtyVictim := 0
+	if victimW < 0 {
+		victimW = c.fastVictimWay(set)
+		v := &set.ways[victimW]
+		if v.valid {
+			if c.cfg.Mode == config.ModeFlat {
+				dirtyVictim = len(v.occ) // all sub-blocks swap in flat mode
+			} else {
+				for _, rg := range v.occ {
+					if rg.dirty {
+						dirtyVictim++
+					}
+				}
+			}
+		}
+	}
+
+	if c.shouldCommit(sset, fr, dirtyStage, dirtyVictim) &&
+		c.flatCommitFeasible(set, fr, victimW, appendW >= 0) {
+		c.commitStageFrame(now, ssi, w, si, victimW, appendW >= 0)
+	} else {
+		c.evictStageFrame(now, ssi, w)
+	}
+	fr.tag = metadata.StageTag{}
+	fr.data = [8][]byte{}
+	fr.events = fr.events[:0]
+}
+
+// shouldCommit evaluates Eq. 1: B = k*(MRUMissCnt/assoc - MissCnt) +
+// (#Dirty_stage - #Dirty_cache/flat); commit when B >= 0.
+func (c *Controller) shouldCommit(sset *stageSet, fr *stageFrame, dirtyStage, dirtyVictim int) bool {
+	if c.cfg.CommitAll {
+		return true
+	}
+	stability := float64(sset.mruMissCnt)/float64(len(sset.ways)) - float64(fr.tag.MissCnt)
+	if c.cfg.CommitK < 0 { // k = infinity: stability only
+		return stability >= 0
+	}
+	benefit := c.cfg.CommitK*stability + float64(dirtyStage-dirtyVictim)
+	return benefit >= 0
+}
+
+// fastVictimWay picks the cache/flat-area victim: an invalid way if any,
+// else LRU (low-associative) or FIFO (fully-associative).
+func (c *Controller) fastVictimWay(set *fastSet) int {
+	victim := 0
+	for wi := range set.ways {
+		if !set.ways[wi].valid {
+			return wi
+		}
+		if c.cfg.FullyAssociative {
+			if set.ways[wi].allocSeq < set.ways[victim].allocSeq {
+				victim = wi
+			}
+		} else if set.ways[wi].lastUse < set.ways[victim].lastUse {
+			victim = wi
+		}
+	}
+	return victim
+}
+
+// flatCommitFeasible verifies the flat-scheme invariant of Section III-F:
+// swapping the victim's original content out requires at least one block's
+// worth of free slow sub-block spaces within the committing super-block.
+func (c *Controller) flatCommitFeasible(set *fastSet, fr *stageFrame, victimW int, appending bool) bool {
+	if c.cfg.Mode != config.ModeFlat || appending {
+		return true
+	}
+	v := &set.ways[victimW]
+	if !v.valid {
+		return true // empty frame, nothing to swap out
+	}
+	// Victim holds its native block and that block is resident: its content
+	// must spread into the super-block's freed slow spaces.
+	if !c.frameHoldsNative(v) {
+		return true // victim data returns to its original slow locations
+	}
+	free := 0
+	for _, rg := range fr.tag.Slots {
+		if !rg.Valid {
+			continue
+		}
+		if rg.Zero {
+			free += config.SubBlocksPerBlock
+		} else {
+			free += int(rg.CF)
+		}
+	}
+	// Plus spaces freed by blocks of this super already committed elsewhere.
+	base := uint64(fr.tag.Super) * c.geom.superBlocks
+	for off := uint64(0); off < c.geom.superBlocks; off++ {
+		b := base + off
+		if b < uint64(len(c.remap)) {
+			ri := &c.remap[b]
+			if ri.z {
+				free += config.SubBlocksPerBlock
+			} else {
+				free += bits.OnesCount8(ri.remap)
+			}
+		}
+	}
+	if free < config.SubBlocksPerBlock {
+		c.ctr.commitAborts.Inc()
+		return false
+	}
+	return true
+}
+
+// frameHoldsNative reports whether a flat-mode frame still holds its native
+// block's content.
+func (c *Controller) frameHoldsNative(f *fastFrame) bool {
+	if c.cfg.Mode != config.ModeFlat {
+		return false
+	}
+	ri := &c.remap[f.native]
+	return ri.remap != 0 && f.valid && c.superOf(f.native) == f.super &&
+		findOcc(f, uint8(c.blkOff(f.native)), 0) >= 0
+}
+
+// evictStageFrame writes the frame's dirty ranges back to slow memory.
+func (c *Controller) evictStageFrame(now uint64, ssi, w int) {
+	fr := &c.stageSets[ssi].ways[w]
+	for slot := range fr.tag.Slots {
+		c.writebackStageSlot(now, fr, slot)
+	}
+	c.ctr.evictsToSlow.Inc()
+}
+
+// commitStageFrame moves the frame's contents into the cache/flat area:
+// the victim frame is evicted (or an existing same-super frame appended to),
+// the ranges are sorted into the frozen dense layout of Rule 4, and the
+// remap entries are rewritten in the compact format.
+func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appending bool) {
+	sset := &c.stageSets[ssi]
+	fr := &sset.ways[w]
+	set := &c.sets[si]
+	target := &set.ways[targetW]
+
+	if !appending && target.valid {
+		c.evictFastFrame(now, si, targetW)
+	}
+
+	if !appending || !target.valid {
+		native := target.native
+		*target = fastFrame{valid: true, super: fr.tag.Super, native: native}
+	} else {
+		// Appending rewrites the frame's dense layout (a re-sort).
+		c.ctr.resortRewrites.Inc()
+		c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true)
+	}
+	target.lastUse = c.seq
+	target.allocSeq = c.seq
+
+	// Gather the committed ranges; Z-descriptors become Z remap entries.
+	for slot, rg := range fr.tag.Slots {
+		if !rg.Valid {
+			continue
+		}
+		if rg.Zero {
+			b := c.blockID(fr.tag.Super, rg.BlkOff)
+			ri := &c.remap[b]
+			*ri = remapInfo{z: true, way: -1}
+			continue
+		}
+		target.occ = append(target.occ, occRange{
+			blkOff: rg.BlkOff, subOff: rg.SubOff, cf: rg.CF,
+			dirty: rg.Dirty, data: fr.data[slot],
+		})
+		// Traffic: stage read + cache/flat-area write, both in fast memory.
+		c.fast.AccessBackground(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes, false)
+	}
+	sortOcc(target.occ)
+	c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true)
+
+	// Rewrite the remap entries of every block present in the target frame.
+	c.rebuildRemap(si, targetW)
+	c.metaUpdate(now, fr.tag.Super)
+	c.ctr.commits.Inc()
+	for wi := range set.ways {
+		if wi != targetW && set.ways[wi].valid && set.ways[wi].super == fr.tag.Super {
+			c.ctr.multiFrameSupers.Inc()
+			break
+		}
+	}
+}
+
+// sortOcc orders ranges by (blkOff, subOff): the frozen sorted layout.
+func sortOcc(occ []occRange) {
+	sort.Slice(occ, func(i, j int) bool {
+		if occ[i].blkOff != occ[j].blkOff {
+			return occ[i].blkOff < occ[j].blkOff
+		}
+		return occ[i].subOff < occ[j].subOff
+	})
+}
+
+// findOcc returns the index of the range covering (blkOff, sub), or -1.
+func findOcc(f *fastFrame, blkOff, sub uint8) int {
+	for i := range f.occ {
+		rg := &f.occ[i]
+		if rg.blkOff == blkOff && sub >= rg.subOff && sub < rg.subOff+rg.cf {
+			return i
+		}
+	}
+	return -1
+}
+
+// rebuildRemap recomputes the remap entries of every block stored in frame
+// (si, way) from its occupancy (the architectural metadata the compact
+// format encodes).
+func (c *Controller) rebuildRemap(si, way int) {
+	f := &c.sets[si].ways[way]
+	perBlock := map[uint8]*remapInfo{}
+	for i := range f.occ {
+		rg := &f.occ[i]
+		b := c.blockID(f.super, rg.BlkOffU8())
+		ri := &c.remap[b]
+		if perBlock[rg.blkOff] == nil {
+			ri.remap, ri.cf2, ri.cf4, ri.z = 0, 0, 0, false
+			ri.way = int32(way)
+			perBlock[rg.blkOff] = ri
+		}
+		for s := rg.subOff; s < rg.subOff+rg.cf; s++ {
+			ri.remap |= 1 << s
+		}
+		switch rg.cf {
+		case 2:
+			ri.cf2 |= 1 << (rg.subOff / 2)
+		case 4:
+			ri.cf4 |= 1 << (rg.subOff / 4)
+		}
+	}
+}
+
+// BlkOffU8 returns the range's block offset (helper for rebuildRemap).
+func (rg *occRange) BlkOffU8() uint8 { return rg.blkOff }
+
+// evictFastFrame evicts every block committed in frame (si, way) to slow
+// memory, handling the flat-scheme swap mechanics.
+func (c *Controller) evictFastFrame(now uint64, si, way int) {
+	f := &c.sets[si].ways[way]
+	if !f.valid {
+		return
+	}
+	flat := c.cfg.Mode == config.ModeFlat
+	nativeResident := c.frameHoldsNative(f)
+
+	if flat && !nativeResident && len(f.occ) > 0 {
+		// Three-way swap (Section III-F): the frame's original content is
+		// spread over the super-block; rearranging it so the evicted
+		// committed blocks can return to their original slow locations
+		// costs one extra block move in slow memory.
+		c.ctr.swapThreeWay.Inc()
+		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, false)
+		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, true)
+	}
+
+	for i := range f.occ {
+		rg := &f.occ[i]
+		b := c.blockID(f.super, rg.blkOff)
+		isNative := flat && b == f.native
+		// Push content back to the canonical store.
+		for k := 0; k < int(rg.cf); k++ {
+			copy(c.slowSub(b, int(rg.subOff)+k), rg.data[uint64(k)*c.geom.subBytes:])
+			if rg.dirty {
+				c.clearHints(b, int(rg.subOff)+k)
+			}
+		}
+		switch {
+		case isNative:
+			// Handled below as a single spread write.
+		case flat:
+			// Migrated blocks swap back entirely (all sub-blocks move).
+			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
+		case rg.dirty:
+			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
+		}
+	}
+	if nativeResident {
+		// Spread the native block into the freed slow sub-block spaces.
+		c.ctr.swapSpread.Inc()
+		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, true)
+	}
+
+	// Clear the remap entries of every block that lived here.
+	for i := range f.occ {
+		b := c.blockID(f.super, f.occ[i].blkOff)
+		ri := &c.remap[b]
+		if ri.way == int32(way) {
+			*ri = remapInfo{way: -1}
+		}
+	}
+	c.metaUpdate(now, f.super)
+	native := f.native
+	*f = fastFrame{native: native}
+}
+
+// evictCommittedBlock evicts a single block from its committed frame
+// (the whole-block eviction of case 2 write overflows). The frozen dense
+// layout forces the remaining ranges to be compacted, which we charge as
+// fast-memory move traffic.
+func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, overflow bool) {
+	f := &c.sets[si].ways[way]
+	blkOff := uint8(c.blkOff(b))
+	kept := f.occ[:0]
+	moved := 0
+	removed := 0
+	for i := range f.occ {
+		rg := f.occ[i]
+		if rg.blkOff != blkOff {
+			if removed > 0 {
+				moved++
+			}
+			kept = append(kept, rg)
+			continue
+		}
+		removed++
+		for k := 0; k < int(rg.cf); k++ {
+			copy(c.slowSub(b, int(rg.subOff)+k), rg.data[uint64(k)*c.geom.subBytes:])
+			if rg.dirty {
+				c.clearHints(b, int(rg.subOff)+k)
+			}
+		}
+		if rg.dirty || c.cfg.Mode == config.ModeFlat {
+			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
+		}
+	}
+	f.occ = kept
+	if moved > 0 {
+		c.ctr.resortRewrites.Inc()
+		c.fast.AccessBackground(now, c.frameAddr(si, way, 0), uint64(moved)*c.geom.subBytes, true)
+	}
+	ri := &c.remap[b]
+	*ri = remapInfo{way: -1}
+	if len(f.occ) == 0 && !(c.cfg.Mode == config.ModeFlat && c.frameHoldsNative(f)) {
+		native := f.native
+		*f = fastFrame{native: native}
+	}
+	c.rebuildRemapSafe(si, way)
+	c.metaUpdate(now, c.superOf(b))
+}
+
+// rebuildRemapSafe re-derives remap entries after a partial eviction when
+// the frame is still valid.
+func (c *Controller) rebuildRemapSafe(si, way int) {
+	f := &c.sets[si].ways[way]
+	if f.valid {
+		c.rebuildRemap(si, way)
+	}
+}
+
+// directInsert implements the no-stage-area ablation of Fig. 13(c): fetched
+// ranges are inserted straight into the committed area, and every insertion
+// re-sorts the frozen layout of its frame.
+func (c *Controller) directInsert(now uint64, b uint64, s int, dirty bool) {
+	super := c.superOf(b)
+	si := c.setIdx(super)
+	set := &c.sets[si]
+
+	// Choose the range (no stage-overlap concerns: the block is absent).
+	start, cf := s, 1
+	for _, try := range []int{4, 2} {
+		st := s &^ (try - 1)
+		if c.rangeFits(c.rangeContent(b, st, try), try) {
+			start, cf = st, try
+			break
+		}
+	}
+	content := c.rangeContent(b, start, cf)
+
+	targetW := -1
+	for wi := range set.ways {
+		if set.ways[wi].valid && set.ways[wi].super == super && len(set.ways[wi].occ) < 8 {
+			targetW = wi
+			break
+		}
+	}
+	if targetW < 0 {
+		targetW = c.fastVictimWay(set)
+		if set.ways[targetW].valid {
+			c.evictFastFrame(now, si, targetW)
+		}
+		native := set.ways[targetW].native
+		set.ways[targetW] = fastFrame{valid: true, super: super, native: native}
+	}
+	f := &set.ways[targetW]
+	f.lastUse = c.seq
+	f.allocSeq = c.seq
+	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: content})
+	sortOcc(f.occ)
+	// Every insertion re-sorts the dense layout: rewrite the frame.
+	c.ctr.resortRewrites.Inc()
+	c.slow.AccessBackground(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes, false)
+	c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(f.occ))*c.geom.subBytes, true)
+	c.rebuildRemap(si, targetW)
+	c.metaUpdate(now, super)
+}
+
+// directInsertSub (no-stage ablation) adds one more range of an already
+// committed block into its frame, re-sorting the dense layout.
+func (c *Controller) directInsertSub(now uint64, b uint64, s int, dirty bool) {
+	ri := &c.remap[b]
+	if ri.way < 0 {
+		return
+	}
+	super := c.superOf(b)
+	si := c.setIdx(super)
+	f := &c.sets[si].ways[ri.way]
+	if !f.valid || len(f.occ) >= 8 {
+		return
+	}
+	start, cf := s, 1
+	for _, try := range []int{4, 2} {
+		st := s &^ (try - 1)
+		overlaps := false
+		for i := st; i < st+try; i++ {
+			if i != s && ri.remap&(1<<i) != 0 {
+				overlaps = true
+				break
+			}
+		}
+		if overlaps {
+			continue
+		}
+		if c.rangeFits(c.rangeContent(b, st, try), try) {
+			start, cf = st, try
+			break
+		}
+	}
+	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: c.rangeContent(b, start, cf)})
+	sortOcc(f.occ)
+	c.ctr.resortRewrites.Inc()
+	c.slow.AccessBackground(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes, false)
+	c.fast.AccessBackground(now, c.frameAddr(si, int(ri.way), 0), uint64(len(f.occ))*c.geom.subBytes, true)
+	c.rebuildRemap(si, int(ri.way))
+	c.metaUpdate(now, super)
+}

@@ -1,0 +1,331 @@
+// Package core implements Baryon, the paper's contribution: a hybrid memory
+// controller that combines memory compression and data sub-blocking with a
+// small stage area in fast memory, a dual-format metadata scheme (on-chip
+// stage tag array + compact remap table with a super-block-granularity remap
+// cache), two-level stage replacement, and a stability-aware selective
+// commit policy. The controller supports the cache and flat schemes, a
+// fully-associative variant (Baryon-FA), and the 64 B sub-blocking variant
+// (Baryon-64B), plus every ablation knob the evaluation section sweeps.
+package core
+
+import (
+	"baryon/internal/compress"
+	"baryon/internal/config"
+	"baryon/internal/hybrid"
+	"baryon/internal/mem"
+	"baryon/internal/metadata"
+	"baryon/internal/sim"
+)
+
+// occRange is one committed range occupying one physical sub-block slot of a
+// fast-memory frame (Rule 2: contiguous and aligned; Rule 4: the slice is
+// kept sorted and dense).
+type occRange struct {
+	blkOff uint8
+	subOff uint8
+	cf     uint8
+	zero   bool
+	dirty  bool
+	data   []byte // cf*subBytes of uncompressed content; nil when zero
+}
+
+// fastFrame is one block frame in the cache/flat area. Per Rule 1 it holds
+// ranges of a single super-block.
+type fastFrame struct {
+	valid    bool
+	super    hybrid.SuperBlockID
+	occ      []occRange // sorted by (blkOff, subOff), at most 8 slots
+	lastUse  uint64     // LRU (low-associative configurations)
+	allocSeq uint64     // FIFO (fully-associative configurations)
+	native   uint64     // flat mode: the OS block homed at this frame
+}
+
+type fastSet struct {
+	ways []fastFrame
+}
+
+// stageFrame is one block frame of the stage area plus its architectural
+// stage tag entry.
+type stageFrame struct {
+	tag     metadata.StageTag
+	data    [8][]byte // uncompressed range content per slot
+	lastUse uint64
+
+	// Instrumentation for Figs. 3 and 4.
+	allocSeq  uint64
+	events    []bool // per-access miss record during this stage phase
+	accesses  uint32
+	instStart uint64 // instruction clock at allocation (for MPKI)
+}
+
+type stageSet struct {
+	ways        []stageFrame
+	mruMissCnt  uint32
+	mruWay      int
+	accSinceAge uint32
+}
+
+// remapInfo is the simulator-side remap table entry: the architectural
+// 2-byte fields plus the resolved way index (which the hardware derives from
+// the Pointer field; we keep it explicit to support the fully-associative
+// variant whose pointer is wider).
+type remapInfo struct {
+	remap uint8
+	cf2   uint8
+	cf4   uint8
+	z     bool
+	way   int32 // way within the block's set; -1 when nothing is remapped
+}
+
+func (r *remapInfo) valid() bool { return r.remap != 0 || r.z }
+
+// Controller is the Baryon memory controller.
+type Controller struct {
+	cfg  config.Config
+	geom geometry
+	comp *compress.Compressor
+	rng  *sim.RNG
+
+	fast *mem.Device
+	slow *mem.Device
+
+	store *hybrid.Store // canonical content of every OS block
+
+	sets      []fastSet
+	stageSets []stageSet
+	remap     []remapInfo
+	rcache    *metadata.RemapCache
+
+	// cfHints remembers ranges written back to slow memory in compressed
+	// form (Section III-F): bit i of cf4Hint marks quad i, bit i of cf2Hint
+	// marks pair i. Indexed by OS block.
+	cf2Hint, cf4Hint []uint8
+
+	seq uint64 // monotonic sequence for LRU/FIFO ordering
+
+	stats *sim.Stats
+	ctr   counters
+
+	instr Instrumentation
+
+	// instructionsSeen approximates retired instructions for MPKI-based
+	// statistics; the runner advances it via AddInstructions.
+	instructionsSeen uint64
+
+	// deviceRegion bases (fast device address space).
+	stageBase, tableBase uint64
+}
+
+// geometry captures the per-variant sizes (Baryon vs Baryon-64B).
+type geometry struct {
+	blockBytes  uint64
+	subBytes    uint64
+	linesPerSub int
+	superBlocks uint64 // blocks per super-block
+	sets        uint64
+	ways        int
+	stageSets   uint64
+	stageWays   int
+	osBlocks    uint64
+	fastBlocks  uint64
+}
+
+type counters struct {
+	accesses, reads, writes             *sim.Counter
+	servedFast, servedSlow, servedZero  *sim.Counter
+	stageHits, stageSubMiss, blockMiss  *sim.Counter
+	stageWriteOverflow, fastOverflow    *sim.Counter
+	fastHits, fastSubMiss               *sim.Counter
+	commits, evictsToSlow, commitAborts *sim.Counter
+	subReplacements, blockReplacements  *sim.Counter
+	decompressions, rangeFetches        *sim.Counter
+	rangeCFSum                          *sim.Counter
+	swapSpread, swapThreeWay            *sim.Counter
+	resortRewrites                      *sim.Counter
+	compressedWritebacks                *sim.Counter
+	multiFrameSupers                    *sim.Counter
+}
+
+// New builds a Baryon controller over the canonical store. The store must
+// outlive the controller; stats receives all counters.
+func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
+	c := &Controller{
+		cfg:   cfg,
+		comp:  &compress.Compressor{Aligned: cfg.CachelineAligned, WithCPack: cfg.UseCPack},
+		rng:   sim.NewRNG(cfg.Seed ^ 0xBA51C0DE),
+		store: store,
+		stats: stats,
+	}
+	g := &c.geom
+	g.blockBytes = cfg.BlockBytes
+	g.subBytes = cfg.BlockBytes / config.SubBlocksPerBlock
+	g.linesPerSub = int(g.subBytes / hybrid.CachelineSize)
+	g.superBlocks = uint64(cfg.SuperBlockBlocks)
+	g.sets = cfg.Sets()
+	g.ways = cfg.WaysPerSet()
+	g.stageSets = cfg.StageSets()
+	g.stageWays = 4
+	g.osBlocks = cfg.OSBlocks()
+	g.fastBlocks = cfg.FastBlocks()
+
+	fastCfg := mem.DDR4Config()
+	if cfg.DetailedDDR {
+		fastCfg = mem.DDR4DetailedConfig()
+	}
+	c.fast = mem.NewDevice(fastCfg, stats)
+	c.slow = mem.NewDevice(mem.SlowPreset(cfg.SlowMemory), stats)
+
+	c.sets = make([]fastSet, g.sets)
+	for i := range c.sets {
+		c.sets[i] = fastSet{ways: make([]fastFrame, g.ways)}
+	}
+	c.stageSets = make([]stageSet, g.stageSets)
+	for i := range c.stageSets {
+		c.stageSets[i] = stageSet{ways: make([]stageFrame, g.stageWays), mruWay: -1}
+	}
+	c.remap = make([]remapInfo, g.osBlocks)
+	for i := range c.remap {
+		c.remap[i].way = -1
+	}
+	c.cf2Hint = make([]uint8, g.osBlocks)
+	c.cf4Hint = make([]uint8, g.osBlocks)
+	c.rcache = metadata.NewRemapCache(cfg.RemapCacheSets, cfg.RemapCacheWays, stats)
+
+	c.stageBase = g.fastBlocks * g.blockBytes
+	c.tableBase = c.stageBase + cfg.StageBlocks()*g.blockBytes
+
+	c.initCounters()
+	if cfg.Mode == config.ModeFlat {
+		c.initFlatResidents()
+	}
+	return c
+}
+
+func (c *Controller) initCounters() {
+	s := c.stats
+	c.ctr = counters{
+		accesses:             s.Counter("baryon.accesses"),
+		reads:                s.Counter("baryon.reads"),
+		writes:               s.Counter("baryon.writes"),
+		servedFast:           s.Counter("baryon.servedFast"),
+		servedSlow:           s.Counter("baryon.servedSlow"),
+		servedZero:           s.Counter("baryon.servedZero"),
+		stageHits:            s.Counter("baryon.stage.hits"),
+		stageSubMiss:         s.Counter("baryon.stage.subMisses"),
+		blockMiss:            s.Counter("baryon.blockMisses"),
+		stageWriteOverflow:   s.Counter("baryon.stage.writeOverflows"),
+		fastOverflow:         s.Counter("baryon.fast.writeOverflows"),
+		fastHits:             s.Counter("baryon.fast.hits"),
+		fastSubMiss:          s.Counter("baryon.fast.subMisses"),
+		commits:              s.Counter("baryon.commits"),
+		evictsToSlow:         s.Counter("baryon.evictsToSlow"),
+		commitAborts:         s.Counter("baryon.commitAborts"),
+		subReplacements:      s.Counter("baryon.subReplacements"),
+		blockReplacements:    s.Counter("baryon.blockReplacements"),
+		decompressions:       s.Counter("baryon.decompressions"),
+		rangeFetches:         s.Counter("baryon.rangeFetches"),
+		rangeCFSum:           s.Counter("baryon.rangeCFSum"),
+		swapSpread:           s.Counter("baryon.swap.spread"),
+		swapThreeWay:         s.Counter("baryon.swap.threeWay"),
+		resortRewrites:       s.Counter("baryon.resortRewrites"),
+		compressedWritebacks: s.Counter("baryon.compressedWritebacks"),
+		multiFrameSupers:     s.Counter("baryon.multiFrameSupers"),
+	}
+}
+
+// initFlatResidents fills every flat-area frame with its native OS block,
+// fully present and uncompressed (the paper's flat mode places blocks in
+// fast memory until the space is used up).
+func (c *Controller) initFlatResidents() {
+	for q := range c.sets {
+		for w := range c.sets[q].ways {
+			b := uint64(q)*c.geom.superBlocks + uint64(w)
+			if b >= c.geom.osBlocks {
+				continue
+			}
+			f := &c.sets[q].ways[w]
+			f.valid = true
+			f.super = c.superOf(b)
+			f.native = b
+			f.occ = nil
+			for s := 0; s < config.SubBlocksPerBlock; s++ {
+				data := make([]byte, c.geom.subBytes)
+				copy(data, c.slowSub(b, s))
+				f.occ = append(f.occ, occRange{
+					blkOff: uint8(c.blkOff(b)), subOff: uint8(s), cf: 1, data: data,
+				})
+			}
+			r := &c.remap[b]
+			r.remap = 0xFF
+			r.way = int32(w)
+		}
+	}
+}
+
+// --- geometry helpers -------------------------------------------------
+
+func (c *Controller) blockOf(addr uint64) uint64 { return addr / c.geom.blockBytes }
+func (c *Controller) subOf(addr uint64) int {
+	return int(addr % c.geom.blockBytes / c.geom.subBytes)
+}
+func (c *Controller) superOf(b uint64) hybrid.SuperBlockID {
+	return hybrid.SuperBlockID(b / c.geom.superBlocks)
+}
+func (c *Controller) blkOff(b uint64) int { return int(b % c.geom.superBlocks) }
+func (c *Controller) setIdx(super hybrid.SuperBlockID) int {
+	return int(uint64(super) % c.geom.sets)
+}
+func (c *Controller) stageSetIdx(super hybrid.SuperBlockID) int {
+	return int(uint64(super) % c.geom.stageSets)
+}
+func (c *Controller) blockID(super hybrid.SuperBlockID, blkOff uint8) uint64 {
+	return uint64(super)*c.geom.superBlocks + uint64(blkOff)
+}
+
+// slowSub returns the canonical content of sub-block s of block b.
+func (c *Controller) slowSub(b uint64, s int) []byte {
+	return c.store.Bytes(b*c.geom.blockBytes+uint64(s)*c.geom.subBytes, int(c.geom.subBytes))
+}
+
+// slowAddr maps block b to a slow-device address for timing purposes.
+func (c *Controller) slowAddr(b uint64, s int) uint64 {
+	return b*c.geom.blockBytes + uint64(s)*c.geom.subBytes
+}
+
+// frameAddr maps (set, way, slot) to a fast-device address.
+func (c *Controller) frameAddr(setIdx, way, slot int) uint64 {
+	frame := uint64(setIdx)*uint64(c.geom.ways) + uint64(way)
+	return frame*c.geom.blockBytes + uint64(slot)*c.geom.subBytes
+}
+
+// stageFrameAddr maps (stage set, way, slot) to a fast-device address in the
+// stage region.
+func (c *Controller) stageFrameAddr(setIdx, way, slot int) uint64 {
+	frame := uint64(setIdx)*uint64(c.geom.stageWays) + uint64(way)
+	return c.stageBase + frame*c.geom.blockBytes + uint64(slot)*c.geom.subBytes
+}
+
+// Name identifies the configuration for reports.
+func (c *Controller) Name() string {
+	switch {
+	case c.cfg.FullyAssociative:
+		return "Baryon-FA"
+	case c.cfg.SubBlockBytes == 64:
+		return "Baryon-64B"
+	default:
+		return "Baryon"
+	}
+}
+
+// Stats returns the controller's counters.
+func (c *Controller) Stats() *sim.Stats { return c.stats }
+
+// FastDevice and SlowDevice expose the devices for traffic/energy reports.
+func (c *Controller) FastDevice() *mem.Device { return c.fast }
+
+// SlowDevice returns the slow-memory device model.
+func (c *Controller) SlowDevice() *mem.Device { return c.slow }
+
+// AddInstructions advances the retired-instruction clock used by MPKI
+// statistics (called by the CPU runner).
+func (c *Controller) AddInstructions(n uint64) { c.instructionsSeen += n }

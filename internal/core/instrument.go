@@ -1,0 +1,116 @@
+package core
+
+import "baryon/internal/sim"
+
+// Instrumentation collects the research-grade statistics behind Figs. 3
+// and 4 of the paper. It is optional: a zero value disables sampling and
+// costs nothing on the access path beyond a nil check.
+type Instrumentation struct {
+	// StagePhase, when non-nil, receives per-decile MPKI observations of
+	// sampled stage phases (Fig. 4).
+	StagePhase *StagePhaseSampler
+}
+
+// SetInstrumentation installs samplers; pass a zero Instrumentation to
+// disable.
+func (c *Controller) SetInstrumentation(in Instrumentation) { c.instr = in }
+
+// StagePhaseSampler aggregates the miss-rate trajectory of stage phases,
+// normalised to each phase's own length as in Fig. 4: bucket i covers
+// relative time [i/N, (i+1)/N) of the phase.
+type StagePhaseSampler struct {
+	// Buckets holds one sample distribution per normalised-time decile.
+	Buckets [10]sim.Sample
+	// MaxPhases caps the number of sampled phases (the paper samples 1k).
+	MaxPhases int
+	// MinAccesses filters out phases too short to be meaningful.
+	MinAccesses int
+
+	phases int
+}
+
+// NewStagePhaseSampler mirrors the paper's methodology: 1k sampled blocks,
+// phases with at least 20 accesses.
+func NewStagePhaseSampler() *StagePhaseSampler {
+	return &StagePhaseSampler{MaxPhases: 1000, MinAccesses: 20}
+}
+
+// Phases returns how many stage phases have been sampled.
+func (sp *StagePhaseSampler) Phases() int { return sp.phases }
+
+// observe folds one finished phase into the deciles. events[i] records
+// whether the i-th access during the phase missed; instrTotal approximates
+// instructions retired across the phase.
+func (sp *StagePhaseSampler) observe(events []bool, instrTotal uint64) {
+	if sp.phases >= sp.MaxPhases || len(events) < sp.MinAccesses || instrTotal == 0 {
+		return
+	}
+	sp.phases++
+	n := len(events)
+	instrPerBucket := float64(instrTotal) / float64(len(sp.Buckets))
+	if instrPerBucket <= 0 {
+		return
+	}
+	for bkt := range sp.Buckets {
+		lo := bkt * n / len(sp.Buckets)
+		hi := (bkt + 1) * n / len(sp.Buckets)
+		misses := 0
+		for i := lo; i < hi; i++ {
+			if events[i] {
+				misses++
+			}
+		}
+		mpki := float64(misses) / (instrPerBucket / 1000)
+		sp.Buckets[bkt].Observe(mpki)
+	}
+}
+
+// maxStageEvents bounds the per-frame event log; phases longer than this are
+// subsampled by simply truncating (the stability signal saturates well
+// before).
+const maxStageEvents = 4096
+
+// recordStageEvent logs one access to a staged block for Fig. 4 sampling.
+func (c *Controller) recordStageEvent(fr *stageFrame, miss bool) {
+	fr.accesses++
+	if c.instr.StagePhase == nil {
+		return
+	}
+	if len(fr.events) < maxStageEvents {
+		fr.events = append(fr.events, miss)
+	}
+}
+
+// emitStagePhase flushes a finished stage phase into the sampler.
+func (c *Controller) emitStagePhase(fr *stageFrame) {
+	if c.instr.StagePhase == nil {
+		return
+	}
+	c.instr.StagePhase.observe(fr.events, c.instructionsSeen-fr.instStart)
+}
+
+// StageBreakdown summarises the access-type ratios of Fig. 3 for blocks
+// resident in the stage area (S) and blocks committed to the cache/flat
+// area (C).
+type StageBreakdown struct {
+	SHits, SReadMisses, SWriteOverflows float64
+	CHits, CReadMisses, CWriteOverflows float64
+}
+
+// Breakdown computes the Fig. 3 ratios from the controller's counters.
+func (c *Controller) Breakdown() StageBreakdown {
+	sTotal := float64(c.ctr.stageHits.Value() + c.ctr.stageSubMiss.Value() + c.ctr.stageWriteOverflow.Value())
+	cTotal := float64(c.ctr.fastHits.Value() + c.ctr.fastSubMiss.Value() + c.ctr.fastOverflow.Value())
+	bd := StageBreakdown{}
+	if sTotal > 0 {
+		bd.SHits = float64(c.ctr.stageHits.Value()) / sTotal
+		bd.SReadMisses = float64(c.ctr.stageSubMiss.Value()) / sTotal
+		bd.SWriteOverflows = float64(c.ctr.stageWriteOverflow.Value()) / sTotal
+	}
+	if cTotal > 0 {
+		bd.CHits = float64(c.ctr.fastHits.Value()) / cTotal
+		bd.CReadMisses = float64(c.ctr.fastSubMiss.Value()) / cTotal
+		bd.CWriteOverflows = float64(c.ctr.fastOverflow.Value()) / cTotal
+	}
+	return bd
+}

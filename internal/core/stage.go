@@ -1,0 +1,326 @@
+package core
+
+import (
+	"baryon/internal/hybrid"
+	"baryon/internal/metadata"
+)
+
+// This file implements the stage area of Section III-E: range staging with
+// slow-to-stage prefetching, the two-level (FIFO sub-block / LRU block)
+// replacement policy, and counter ageing.
+
+// ageStageSet right-shifts the set's miss counters every 10000 accesses, as
+// the paper's ageing rule prescribes.
+func (c *Controller) ageStageSet(sset *stageSet) {
+	sset.accSinceAge++
+	if sset.accSinceAge < c.cfg.StageAgeInterval {
+		return
+	}
+	sset.accSinceAge = 0
+	sset.mruMissCnt >>= 1
+	for w := range sset.ways {
+		sset.ways[w].tag.MissCnt >>= 1
+	}
+}
+
+// stageFind locates the (way, slot) whose range covers sub-block s of the
+// block at blkOff within super, or (-1, -1).
+func (c *Controller) stageFind(sset *stageSet, super hybrid.SuperBlockID, blkOff, s int) (int, int) {
+	for w := range sset.ways {
+		fr := &sset.ways[w]
+		if !fr.tag.Valid || fr.tag.Super != super {
+			continue
+		}
+		if slot := fr.tag.FindRange(blkOff, s); slot >= 0 {
+			return w, slot
+		}
+	}
+	return -1, -1
+}
+
+// stageFindBlock returns a way staging any range of the given block, or -1.
+// Rule 3 guarantees at most one such way.
+func (c *Controller) stageFindBlock(sset *stageSet, super hybrid.SuperBlockID, blkOff int) int {
+	for w := range sset.ways {
+		fr := &sset.ways[w]
+		if fr.tag.Valid && fr.tag.Super == super && len(fr.tag.BlockRanges(blkOff)) > 0 {
+			return w
+		}
+	}
+	return -1
+}
+
+// removeStageSlot clears one slot (no writeback; callers handle data).
+func (c *Controller) removeStageSlot(fr *stageFrame, slot int) {
+	fr.tag.Slots[slot] = metadata.Range{}
+	fr.data[slot] = nil
+}
+
+// stageVictimSlot applies the FIFO sub-block replacement policy: it frees
+// and returns a slot in the frame, writing the victim range back to slow
+// memory if dirty.
+func (c *Controller) stageVictimSlot(now uint64, ssi, sw int) int {
+	sset := &c.stageSets[ssi]
+	fr := &sset.ways[sw]
+	slot := int(fr.tag.FIFO)
+	for i := 0; i < 8; i++ {
+		if fr.tag.Slots[slot].Valid {
+			break
+		}
+		slot = (slot + 1) % 8
+	}
+	fr.tag.FIFO = uint8((slot + 1) % 8)
+	c.ctr.subReplacements.Inc()
+	c.writebackStageSlot(now, fr, slot)
+	c.removeStageSlot(fr, slot)
+	return slot
+}
+
+// writebackStageSlot pushes a dirty range's content to the canonical store
+// and charges the slow-memory write traffic (compressed when the
+// optimisation of Section III-F applies).
+func (c *Controller) writebackStageSlot(now uint64, fr *stageFrame, slot int) {
+	rg := fr.tag.Slots[slot]
+	if !rg.Valid || rg.Zero || !rg.Dirty {
+		return
+	}
+	b := c.blockID(fr.tag.Super, rg.BlkOff)
+	content := fr.data[slot]
+	for i := 0; i < int(rg.CF); i++ {
+		copy(c.slowSub(b, int(rg.SubOff)+i), content[uint64(i)*c.geom.subBytes:])
+		c.clearHints(b, int(rg.SubOff)+i)
+	}
+	c.writeRangeToSlow(now, b, int(rg.SubOff), int(rg.CF), content)
+}
+
+// writeRangeToSlow accounts the slow-device traffic of writing a range back,
+// keeping it compressed when enabled and recording the CF hint for future
+// slow-to-stage prefetching.
+func (c *Controller) writeRangeToSlow(now uint64, b uint64, subOff, cf int, content []byte) {
+	bytes := uint64(cf) * c.geom.subBytes
+	if c.cfg.CompressedWriteback && cf > 1 && c.rangeFits(content, cf) {
+		bytes = c.geom.subBytes
+		switch cf {
+		case 2:
+			c.cf2Hint[b] |= 1 << (subOff / 2)
+		case 4:
+			c.cf4Hint[b] |= 1 << (subOff / 4)
+		}
+		c.ctr.compressedWritebacks.Inc()
+	}
+	c.slow.AccessBackground(now, c.slowAddr(b, subOff), bytes, true)
+}
+
+// chooseRange picks the maximal contiguous aligned range containing sub s of
+// block b that (a) does not overlap sub-blocks already staged for b and
+// (b) compresses into one sub-block slot. It returns (start, cf).
+func (c *Controller) chooseRange(sset *stageSet, super hybrid.SuperBlockID, blkOff int, b uint64, s int) (int, int) {
+	if c.cfg.CompressionOff {
+		return s, 1
+	}
+	present := func(sub int) bool {
+		w, slot := c.stageFind(sset, super, blkOff, sub)
+		return w >= 0 && slot >= 0
+	}
+	for _, cf := range []int{4, 2} {
+		start := s &^ (cf - 1)
+		ok := true
+		for i := start; i < start+cf; i++ {
+			if i != s && present(i) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// A matching CF hint means the data already sits compressed and
+		// grouped in slow memory; no trial is needed (Section III-F).
+		hinted := (cf == 2 && c.cf2Hint[b]&(1<<(start/2)) != 0) ||
+			(cf == 4 && c.cf4Hint[b]&(1<<(start/4)) != 0)
+		if hinted {
+			return start, cf
+		}
+		content := c.rangeContent(b, start, cf)
+		if c.rangeFits(content, cf) {
+			return start, cf
+		}
+	}
+	return s, 1
+}
+
+// rangeContent copies the canonical content of cf sub-blocks starting at
+// subOff of block b.
+func (c *Controller) rangeContent(b uint64, subOff, cf int) []byte {
+	out := make([]byte, uint64(cf)*c.geom.subBytes)
+	for i := 0; i < cf; i++ {
+		copy(out[uint64(i)*c.geom.subBytes:], c.slowSub(b, subOff+i))
+	}
+	return out
+}
+
+// blockAllZero reports whether block b's full canonical content is zero.
+func (c *Controller) blockAllZero(b uint64) bool {
+	for s := 0; s < 8; s++ {
+		if !c.comp.IsZero(c.slowSub(b, s)) {
+			return false
+		}
+	}
+	return true
+}
+
+// stageInsertRange stages the maximal range around sub s of block b into the
+// stage frame (ssi, sw), applying the two-level replacement policy when the
+// frame is full. dirty marks freshly written data.
+func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, dirty bool) {
+	sset := &c.stageSets[ssi]
+	super := c.superOf(b)
+	blkOff := c.blkOff(b)
+	// Rule 3: if the block already has staged ranges, they pin the frame —
+	// re-resolve rather than trusting the caller, since an intervening
+	// block-level replacement may have moved them.
+	if pinned := c.stageFindBlock(sset, super, blkOff); pinned >= 0 {
+		sw = pinned
+	}
+	fr := &sset.ways[sw]
+	if !fr.tag.Valid || fr.tag.Super != super {
+		panic("core: stageInsertRange into a frame of another super-block")
+	}
+
+	// Z-bit: an all-zero block is staged as a single descriptor with no
+	// data movement at all.
+	if c.cfg.ZeroBlockOpt && !dirty && len(fr.tag.BlockRanges(blkOff)) == 0 && c.blockAllZero(b) {
+		slot := fr.tag.FreeSlot()
+		if slot < 0 {
+			slot = c.stageFullSlot(now, ssi, &sw, b)
+			if slot < 0 {
+				return
+			}
+			fr = &sset.ways[sw]
+		}
+		fr.tag.Slots[slot] = metadata.Range{Valid: true, CF: 4, Zero: true, BlkOff: uint8(blkOff)}
+		fr.data[slot] = nil
+		return
+	}
+
+	start, cf := c.chooseRange(sset, super, blkOff, b, s)
+	content := c.rangeContent(b, start, cf)
+
+	slot := fr.tag.FreeSlot()
+	if slot < 0 {
+		slot = c.stageFullSlot(now, ssi, &sw, b)
+		if slot < 0 {
+			return
+		}
+		fr = &sset.ways[sw]
+	}
+
+	fr.tag.Slots[slot] = metadata.Range{
+		Valid: true, CF: uint8(cf), Dirty: dirty,
+		BlkOff: uint8(blkOff), SubOff: uint8(start),
+	}
+	fr.data[slot] = content
+	c.ctr.rangeFetches.Inc()
+	c.ctr.rangeCFSum.Add(uint64(cf))
+
+	// Traffic: the range is fetched from slow memory (one compressed
+	// sub-block when a CF hint applies, the raw range otherwise) and written
+	// into the stage region of fast memory.
+	fetch := uint64(cf) * c.geom.subBytes
+	if c.cfg.CompressedWriteback &&
+		((cf == 2 && c.cf2Hint[b]&(1<<(start/2)) != 0) || (cf == 4 && c.cf4Hint[b]&(1<<(start/4)) != 0)) {
+		fetch = c.geom.subBytes
+	}
+	if fetch > 64 {
+		c.slow.AccessBackground(now, c.slowAddr(b, start), fetch-64, false) // demanded line already charged
+	}
+	c.fast.AccessBackground(now, c.stageFrameAddr(ssi, sw, slot), c.geom.subBytes, true)
+}
+
+// stageFullSlot resolves a full target frame with the two-level policy of
+// Fig. 8: if the frame is the set's LRU way, do a sub-block (FIFO)
+// replacement inside it; otherwise evict the set's LRU way at block level
+// (through the selective commit policy), re-tag it for this super-block,
+// move block b's existing ranges into it (Rule 3), and return a free slot
+// there. sw is updated to the frame finally holding the block. Returns -1
+// when the single-way corner case cannot free a slot.
+func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
+	sset := &c.stageSets[ssi]
+	lru := c.stageLRUWay(sset)
+
+	if !c.cfg.TwoLevelReplacement || lru == *sw || len(sset.ways) == 1 {
+		// Sub-block-level replacement within the current frame.
+		return c.stageVictimSlot(now, ssi, *sw)
+	}
+
+	// Block-level replacement: the LRU way is committed or evicted, then
+	// reused for this super-block.
+	c.ctr.blockReplacements.Inc()
+	c.finishStageFrame(now, ssi, lru)
+
+	super := c.superOf(b)
+	blkOff := c.blkOff(b)
+	oldW := *sw
+	old := &sset.ways[oldW]
+	nw := &sset.ways[lru]
+	nw.tag = metadata.StageTag{Valid: true, Super: super}
+	nw.data = [8][]byte{}
+	nw.lastUse = c.seq
+	nw.allocSeq = c.seq
+	nw.events = nw.events[:0]
+	nw.accesses = 0
+	nw.instStart = c.instructionsSeen
+
+	// Move b's ranges to the new frame to keep Rule 3 (the move also gives
+	// re-grouping a chance to reduce fragmentation, as the paper notes).
+	slot := 0
+	for _, oldSlot := range old.tag.BlockRanges(blkOff) {
+		nw.tag.Slots[slot] = old.tag.Slots[oldSlot]
+		nw.data[slot] = old.data[oldSlot]
+		c.removeStageSlot(old, oldSlot)
+		// Intra-fast-memory move traffic.
+		c.fast.AccessBackground(now, c.stageFrameAddr(ssi, lru, slot), c.geom.subBytes, true)
+		slot++
+	}
+	*sw = lru
+	if slot >= 8 {
+		// The block alone fills the frame; fall back to a sub-block victim.
+		return c.stageVictimSlot(now, ssi, lru)
+	}
+	return slot // first free slot after the moved ranges
+}
+
+// stageLRUWay returns the least recently used way of a stage set.
+func (c *Controller) stageLRUWay(sset *stageSet) int {
+	lru := 0
+	for w := 1; w < len(sset.ways); w++ {
+		if !sset.ways[w].tag.Valid {
+			return w
+		}
+		if sset.ways[w].lastUse < sset.ways[lru].lastUse {
+			lru = w
+		}
+	}
+	return lru
+}
+
+// stageAllocate performs a block-level replacement to obtain a fresh frame
+// for super (case 5 with no frame holding the super-block). It returns the
+// way index, or -1 if allocation failed.
+func (c *Controller) stageAllocate(now uint64, ssi int, super hybrid.SuperBlockID) int {
+	sset := &c.stageSets[ssi]
+	w := c.stageLRUWay(sset)
+	if sset.ways[w].tag.Valid {
+		c.ctr.blockReplacements.Inc()
+		c.finishStageFrame(now, ssi, w)
+	}
+	fr := &sset.ways[w]
+	fr.tag = metadata.StageTag{Valid: true, Super: super}
+	fr.data = [8][]byte{}
+	fr.lastUse = c.seq
+	fr.allocSeq = c.seq
+	fr.events = fr.events[:0]
+	fr.accesses = 0
+	fr.instStart = c.instructionsSeen
+	return w
+}

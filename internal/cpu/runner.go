@@ -1,0 +1,219 @@
+// Package cpu is the trace-driven multicore front end that substitutes for
+// the paper's zsim setup: sixteen cores replay workload access streams
+// through the Table I cache hierarchy into a hybrid-memory controller. Cores
+// progress on private clocks (interleaved in global time order), non-memory
+// instructions retire at a fixed IPC, and memory stalls are divided by a
+// configurable memory-level-parallelism overlap factor. The output is total
+// cycles plus the memory-system metrics the paper's figures report.
+package cpu
+
+import (
+	"baryon/internal/cache"
+	"baryon/internal/config"
+	"baryon/internal/datagen"
+	"baryon/internal/hybrid"
+	"baryon/internal/mem"
+	"baryon/internal/sim"
+	"baryon/internal/trace"
+)
+
+// nonMemIPC is the retire rate of non-memory instructions.
+const nonMemIPC = 2.0
+
+// DeviceProvider exposes the two memory devices for traffic/energy reports;
+// every controller in this repository implements it.
+type DeviceProvider interface {
+	FastDevice() *mem.Device
+	SlowDevice() *mem.Device
+}
+
+// Result summarises one run.
+type Result struct {
+	Workload     string
+	Design       string
+	Cycles       uint64
+	Instructions uint64
+	// FastServeRate is the fraction of LLC misses served by fast memory
+	// (Fig. 11 left).
+	FastServeRate float64
+	// BloatFactor is fast-memory traffic divided by useful LLC fill traffic
+	// (Fig. 11 right).
+	BloatFactor float64
+	// EnergyPJ is the total memory-system access energy.
+	EnergyPJ float64
+	// FastBytes/SlowBytes are total device traffic.
+	FastBytes, SlowBytes uint64
+	Stats                *sim.Stats
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// world tracks the functional value of dirty lines (written by cores but not
+// necessarily propagated to the memory controller yet) and generates write
+// values with per-sub-block version counters so compressibility evolves as
+// the paper's write-overflow analysis requires.
+type world struct {
+	mix      datagen.Mix
+	store    *hybrid.Store
+	versions map[uint64]uint32 // (block<<3|sub) -> version
+	dirty    map[uint64][]byte // lineAddr -> latest value
+}
+
+func newWorld(mix datagen.Mix, store *hybrid.Store) *world {
+	return &world{
+		mix:      mix,
+		store:    store,
+		versions: make(map[uint64]uint32),
+		dirty:    make(map[uint64][]byte),
+	}
+}
+
+// writeValue produces the next value of the line at addr.
+func (w *world) writeValue(addr uint64) []byte {
+	block := addr / hybrid.BlockSize
+	sub := int(addr % hybrid.BlockSize / hybrid.SubBlockSize)
+	line := int(addr % hybrid.SubBlockSize / hybrid.CachelineSize)
+	key := block<<3 | uint64(sub)
+	w.versions[key]++
+	data := datagen.LineContent(block, sub, line, w.versions[key], w.mix.ClassFor(block))
+	w.dirty[addr] = data
+	return data
+}
+
+// lineData returns the latest functional value of a line (for writebacks).
+func (w *world) lineData(addr uint64) []byte {
+	if d, ok := w.dirty[addr]; ok {
+		return d
+	}
+	return w.store.Line(addr)
+}
+
+// Runner executes one trace source against one controller.
+type Runner struct {
+	cfg   config.Config
+	src   trace.Source
+	ctrl  hybrid.Controller
+	hier  *cache.Hierarchy
+	store *hybrid.Store
+	world *world
+	stats *sim.Stats
+}
+
+// ControllerFactory builds a controller over a canonical store.
+type ControllerFactory func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller
+
+// NewRunner wires a synthetic workload, a fresh canonical store filled with
+// the workload's value mix, the cache hierarchy and the controller produced
+// by factory.
+func NewRunner(cfg config.Config, w trace.Workload, factory ControllerFactory) *Runner {
+	return NewRunnerSource(cfg, w, factory)
+}
+
+// NewRunnerSource is NewRunner for an arbitrary trace source (synthetic
+// workloads or recorded replays, see trace.Source).
+func NewRunnerSource(cfg config.Config, src trace.Source, factory ControllerFactory) *Runner {
+	stats := sim.NewStats()
+	mix := src.ValueMix()
+	store := hybrid.NewStore(func(b hybrid.BlockID, dst *[hybrid.BlockSize]byte) {
+		datagen.Filler(mix)(uint64(b), dst)
+	})
+	ctrl := factory(cfg, store, stats)
+	hcfg := cache.DefaultHierarchy(cfg.Cores, cfg.LLCKB)
+	hcfg.InstallPrefetched = !cfg.NoLLCPrefetch
+	hier := cache.NewHierarchy(hcfg, ctrl, stats)
+	r := &Runner{cfg: cfg, src: src, ctrl: ctrl, hier: hier, store: store, stats: stats}
+	r.world = newWorld(mix, store)
+	hier.LineData = r.world.lineData
+	return r
+}
+
+// Controller returns the controller under test.
+func (r *Runner) Controller() hybrid.Controller { return r.ctrl }
+
+// Hierarchy returns the cache stack.
+func (r *Runner) Hierarchy() *cache.Hierarchy { return r.hier }
+
+// Run replays accessesPerCore accesses on each core and returns the metrics.
+func (r *Runner) Run() Result {
+	cores := r.cfg.Cores
+	// Footprints are defined in 2 kB blocks regardless of the controller's
+	// internal geometry.
+	fp2k := (r.cfg.FastBytes - r.cfg.StageBytes) / 2048
+
+	streams := r.src.Streams(cores, fp2k, r.cfg.Seed)
+
+	sink, _ := r.ctrl.(hybrid.InstructionSink)
+	osBytes := r.cfg.OSBlocks() * r.cfg.BlockBytes
+
+	coreTime := make([]uint64, cores)
+	left := make([]int, cores)
+	for c := range left {
+		left[c] = r.cfg.AccessesPerCore
+	}
+	var instructions uint64
+	remaining := cores
+
+	for remaining > 0 {
+		// Advance the core with the earliest clock (simple 16-way scan).
+		core := -1
+		for c := 0; c < cores; c++ {
+			if left[c] > 0 && (core < 0 || coreTime[c] < coreTime[core]) {
+				core = c
+			}
+		}
+		if core < 0 {
+			break
+		}
+		acc := streams[core].Next()
+		addr := acc.Addr % osBytes &^ (hybrid.CachelineSize - 1)
+		gap := uint64(acc.Gap)
+		instructions += gap + 1
+		if sink != nil {
+			sink.AddInstructions(gap + 1)
+		}
+		now := coreTime[core] + uint64(float64(gap)/nonMemIPC)
+
+		if acc.Write {
+			r.world.writeValue(addr)
+		}
+		done := r.hier.Access(core, now, addr, acc.Write)
+		stall := (done - now) / uint64(r.cfg.MLPOverlap)
+		coreTime[core] = now + stall + 1
+		left[core]--
+		if left[core] == 0 {
+			remaining--
+		}
+	}
+
+	var cycles uint64
+	for _, t := range coreTime {
+		if t > cycles {
+			cycles = t
+		}
+	}
+
+	res := Result{
+		Workload:     r.src.SourceName(),
+		Design:       r.ctrl.Name(),
+		Cycles:       cycles,
+		Instructions: instructions,
+		Stats:        r.stats,
+	}
+	served := r.stats.Get("hierarchy.servedFast")
+	total := served + r.stats.Get("hierarchy.servedSlow")
+	res.FastServeRate = sim.Ratio(served, total)
+	if dp, ok := r.ctrl.(DeviceProvider); ok {
+		res.FastBytes = dp.FastDevice().TotalBytes()
+		res.SlowBytes = dp.SlowDevice().TotalBytes()
+		res.EnergyPJ = dp.FastDevice().EnergyPJ() + dp.SlowDevice().EnergyPJ()
+		useful := r.stats.Get("hierarchy.llcMisses") * hybrid.CachelineSize
+		res.BloatFactor = sim.Ratio(res.FastBytes, useful)
+	}
+	return res
+}

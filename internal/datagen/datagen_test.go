@@ -1,0 +1,154 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"baryon/internal/compress"
+)
+
+func TestFillDeterministic(t *testing.T) {
+	var a, b [256]byte
+	FillSub(a[:], 7, 3, 2, ClassPointer)
+	FillSub(b[:], 7, 3, 2, ClassPointer)
+	if !bytes.Equal(a[:], b[:]) {
+		t.Fatal("same inputs produced different data")
+	}
+	FillSub(b[:], 7, 3, 3, ClassPointer)
+	if bytes.Equal(a[:], b[:]) {
+		t.Fatal("version bump did not change data")
+	}
+}
+
+func TestFillDeterministicQuick(t *testing.T) {
+	f := func(block uint64, sub uint8, version uint16, cls uint8) bool {
+		var a, b [256]byte
+		c := Class(cls % uint8(numClasses))
+		FillSub(a[:], block, int(sub%8), uint32(version), c)
+		FillSub(b[:], block, int(sub%8), uint32(version), c)
+		return bytes.Equal(a[:], b[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassCompressibilityOrdering verifies the value classes actually span
+// the CF spectrum the paper's workloads need: zero-heavy data compresses
+// best and random data not at all, with the structured classes in between.
+func TestClassCompressibilityOrdering(t *testing.T) {
+	comp := compress.New(false)
+	meanCF := func(c Class) float64 {
+		total := 0.0
+		var buf [256]byte
+		for b := uint64(0); b < 64; b++ {
+			FillSub(buf[:], b, int(b%8), 0, c)
+			total += comp.AchievedCF(buf[:])
+		}
+		return total / 64
+	}
+	zero := meanCF(ClassZero)
+	smallInt := meanCF(ClassSmallInt)
+	pointer := meanCF(ClassPointer)
+	float := meanCF(ClassFloat)
+	random := meanCF(ClassRandom)
+	t.Logf("CFs: zero=%.2f smallInt=%.2f pointer=%.2f float=%.2f random=%.2f",
+		zero, smallInt, pointer, float, random)
+	if zero < 4 {
+		t.Fatalf("zero class CF %.2f < 4", zero)
+	}
+	if smallInt < 2 {
+		t.Fatalf("small-int class CF %.2f < 2", smallInt)
+	}
+	if pointer < 1.5 || float < 1.3 {
+		t.Fatalf("structured classes too incompressible: ptr %.2f float %.2f", pointer, float)
+	}
+	if random > 1.1 {
+		t.Fatalf("random class CF %.2f > 1.1", random)
+	}
+	if random >= pointer || pointer > zero {
+		t.Fatal("class ordering violated")
+	}
+}
+
+func TestMixClassDistribution(t *testing.T) {
+	mix := Mix{Weights: [5]float64{0, 0, 1, 0, 0}}
+	for b := uint64(0); b < 100; b++ {
+		if c := mix.ClassFor(b); c != ClassPointer {
+			t.Fatalf("single-weight mix gave class %d", c)
+		}
+	}
+	uniform := UniformMix()
+	counts := map[Class]int{}
+	for b := uint64(0); b < 10000; b++ {
+		counts[uniform.ClassFor(b)]++
+	}
+	for c := ClassZero; c < numClasses; c++ {
+		if counts[c] < 1200 || counts[c] > 2800 {
+			t.Fatalf("class %d count %d far from uniform", c, counts[c])
+		}
+	}
+}
+
+func TestZeroWeightMix(t *testing.T) {
+	var empty Mix
+	if c := empty.ClassFor(5); c != ClassRandom {
+		t.Fatalf("zero-weight mix gave class %d, want ClassRandom", c)
+	}
+}
+
+// TestVersionDegradation verifies that repeated writes eventually make some
+// blocks less compressible — the source of write-overflow events.
+func TestVersionDegradation(t *testing.T) {
+	comp := compress.New(false)
+	degraded := 0
+	var buf [256]byte
+	for b := uint64(0); b < 200; b++ {
+		FillSub(buf[:], b, 0, 0, ClassZero)
+		cf0 := comp.AchievedCF(buf[:])
+		FillSub(buf[:], b, 0, 8, ClassZero)
+		cf8 := comp.AchievedCF(buf[:])
+		if cf8 < cf0/2 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no block ever degraded in compressibility after writes")
+	}
+	if degraded > 180 {
+		t.Fatalf("almost all blocks degraded (%d/200); DegradeProb miscalibrated", degraded)
+	}
+}
+
+func TestFillerCoversBlock(t *testing.T) {
+	fill := Filler(Mix{Weights: [5]float64{0, 1, 0, 0, 0}})
+	var blk [2048]byte
+	fill(3, &blk)
+	var sub [256]byte
+	FillSub(sub[:], 3, 5, 0, ClassSmallInt)
+	if !bytes.Equal(blk[5*256:6*256], sub[:]) {
+		t.Fatal("Filler disagrees with FillSub")
+	}
+}
+
+func TestLineContentConsistent(t *testing.T) {
+	line := LineContent(9, 2, 1, 4, ClassFloat)
+	var sub [256]byte
+	FillSub(sub[:], 9, 2, 4, ClassFloat)
+	if !bytes.Equal(line, sub[64:128]) {
+		t.Fatal("LineContent disagrees with FillSub")
+	}
+	if len(line) != 64 {
+		t.Fatalf("line length %d", len(line))
+	}
+}
+
+func TestFillSubPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong destination size")
+		}
+	}()
+	FillSub(make([]byte, 100), 0, 0, 0, ClassZero)
+}

@@ -1,0 +1,83 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section IV): the Fig. 3 stage-area access breakdowns, the
+// Fig. 4 stage-phase stability distributions, the Fig. 9/10 performance
+// comparisons, the Fig. 11 serve-rate and bandwidth-bloat analysis, the
+// Fig. 12 compression ablations, the Fig. 13 design-parameter sweeps, the
+// Table I configuration/budget summary, and the Section IV-B energy
+// comparison. Each harness prints the same rows/series the paper reports.
+package experiment
+
+import (
+	"baryon/internal/baselines"
+	"baryon/internal/config"
+	"baryon/internal/core"
+	"baryon/internal/cpu"
+	"baryon/internal/hybrid"
+	"baryon/internal/sim"
+	"baryon/internal/trace"
+)
+
+// Design names used throughout the harnesses.
+const (
+	DesignSimple    = "Simple"
+	DesignUnison    = "UnisonCache"
+	DesignDICE      = "DICE"
+	DesignBaryon    = "Baryon"
+	DesignBaryon64B = "Baryon-64B"
+	DesignBaryonFA  = "Baryon-FA"
+	DesignHybrid2   = "Hybrid2"
+	DesignOSPaging  = "OSPaging"
+)
+
+// Factory returns the controller factory for a design name. The baselines
+// get the full fast-memory capacity (they reserve no stage area); Baryon
+// variants follow cfg.
+func Factory(design string) cpu.ControllerFactory {
+	switch design {
+	case DesignSimple:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats)
+		}
+	case DesignUnison:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed)
+		}
+	case DesignDICE:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency)
+		}
+	case DesignBaryon:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return core.New(cfg, store, stats)
+		}
+	case DesignBaryon64B:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			cfg.BlockBytes = 512
+			cfg.SubBlockBytes = 64
+			return core.New(cfg, store, stats)
+		}
+	case DesignBaryonFA:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			cfg.FullyAssociative = true
+			cfg.Mode = config.ModeFlat
+			return core.New(cfg, store, stats)
+		}
+	case DesignHybrid2:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return baselines.NewHybrid2(cfg, store, stats)
+		}
+	case DesignOSPaging:
+		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+			return baselines.NewOSPaging(cfg.FastBytes, store, stats)
+		}
+	}
+	panic("experiment: unknown design " + design)
+}
+
+// RunOne executes one (workload, design) pair and returns its metrics.
+func RunOne(cfg config.Config, w trace.Workload, design string) cpu.Result {
+	r := cpu.NewRunner(cfg, w, Factory(design))
+	res := r.Run()
+	res.Design = design
+	return res
+}

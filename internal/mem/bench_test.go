@@ -1,0 +1,23 @@
+package mem
+
+import (
+	"testing"
+
+	"baryon/internal/sim"
+)
+
+func BenchmarkDeviceDemandAccess(b *testing.B) {
+	d := NewDevice(DDR4Config(), sim.NewStats())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Access(uint64(i)*10, uint64(i)*64%(1<<24), 64, i%4 == 0)
+	}
+}
+
+func BenchmarkDeviceBackgroundAccess(b *testing.B) {
+	d := NewDevice(NVMConfig(), sim.NewStats())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.AccessBackground(uint64(i)*10, uint64(i)*256%(1<<24), 256, true)
+	}
+}

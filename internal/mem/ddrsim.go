@@ -1,0 +1,160 @@
+package mem
+
+// This file implements a protocol-level DDR timing engine as an optional
+// high-fidelity alternative to the busy-until model in device.go. It tracks
+// per-bank state (precharged / activating / row open), enforces the core
+// JEDEC timing constraints (tRCD, tCAS/tCWD, tRP, tRAS, tWR, tCCD, tRRD,
+// tFAW) and periodic refresh (tREFI / tRFC), and schedules commands at the
+// earliest legal cycle. Enable it per device with Config.DetailedTiming or
+// use the DDR4DetailedConfig preset.
+//
+// All parameters are CPU cycles at the Table I 3.2 GHz clock.
+
+// DDRTimings holds the protocol constraints of one device generation.
+type DDRTimings struct {
+	TRCD uint64 // ACT -> column command
+	TCAS uint64 // READ -> first data
+	TCWD uint64 // WRITE -> first data
+	TRP  uint64 // PRE -> ACT
+	TRAS uint64 // ACT -> PRE (minimum row-open time)
+	TWR  uint64 // end of write data -> PRE
+	TCCD uint64 // column command -> column command (same bank group)
+	TRRD uint64 // ACT -> ACT (different banks)
+	TFAW uint64 // rolling four-activate window
+	TBL  uint64 // data burst length on the bus
+	// Refresh.
+	TREFI uint64 // average refresh interval
+	TRFC  uint64 // refresh cycle time (all banks unavailable)
+}
+
+// DDR4Timings3200 returns DDR4-3200 (22-22-22) timings in CPU cycles at
+// 3.2 GHz: one DRAM clock at 1600 MHz is two CPU cycles.
+func DDR4Timings3200() DDRTimings {
+	const clk = 2 // CPU cycles per DRAM cycle
+	return DDRTimings{
+		TRCD:  22 * clk,
+		TCAS:  22 * clk,
+		TCWD:  16 * clk,
+		TRP:   22 * clk,
+		TRAS:  52 * clk,
+		TWR:   24 * clk,
+		TCCD:  8 * clk,
+		TRRD:  8 * clk,
+		TFAW:  34 * clk,
+		TBL:   4 * clk, // BL8 at two transfers per DRAM clock
+		TREFI: 12480,   // 3.9 us
+		TRFC:  1120,    // 350 ns
+	}
+}
+
+// bankState is one bank's protocol state.
+type bankState struct {
+	rowOpen    bool
+	openRow    uint64
+	actReadyAt uint64 // earliest next ACT (covers tRP after PRE)
+	colReadyAt uint64 // earliest next column command
+	preReadyAt uint64 // earliest next PRE (covers tRAS / tWR)
+}
+
+// ddrChannel is one channel's protocol state.
+type ddrChannel struct {
+	banks       []bankState
+	busFreeAt   uint64
+	actTimes    [4]uint64 // rolling window for tFAW
+	actIdx      int
+	lastRefresh uint64
+}
+
+// DDREngine schedules commands for one device under protocol constraints.
+type DDREngine struct {
+	t        DDRTimings
+	channels []ddrChannel
+	rowBytes uint64
+	banks    int
+}
+
+// NewDDREngine builds an engine for channels x banks with the given row
+// size.
+func NewDDREngine(t DDRTimings, channels, banks int, rowBytes uint64) *DDREngine {
+	e := &DDREngine{t: t, rowBytes: rowBytes, banks: banks}
+	e.channels = make([]ddrChannel, channels)
+	for i := range e.channels {
+		e.channels[i].banks = make([]bankState, banks)
+	}
+	return e
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// refresh blocks the channel for tRFC every tREFI.
+func (e *DDREngine) refresh(ch *ddrChannel, now uint64) uint64 {
+	if now < ch.lastRefresh+e.t.TREFI {
+		return now
+	}
+	// One refresh covers the elapsed interval (simplification: no queueing
+	// of multiple missed refreshes — the engine is driven densely).
+	ch.lastRefresh = now
+	end := now + e.t.TRFC
+	for b := range ch.banks {
+		bk := &ch.banks[b]
+		bk.rowOpen = false
+		bk.actReadyAt = maxu(bk.actReadyAt, end)
+	}
+	return end
+}
+
+// Access schedules one column access (with ACT/PRE as needed) and returns
+// (firstData, lastData, rowHit).
+func (e *DDREngine) Access(now uint64, addr uint64, write bool) (uint64, uint64, bool) {
+	ch := &e.channels[(addr/256)%uint64(len(e.channels))]
+	now = e.refresh(ch, now)
+	bk := &ch.banks[(addr/e.rowBytes)%uint64(e.banks)]
+	row := addr / e.rowBytes / uint64(e.banks)
+
+	rowHit := bk.rowOpen && bk.openRow == row
+	t := now
+	if !rowHit {
+		// Row miss: PRE (if open) then ACT.
+		if bk.rowOpen {
+			pre := maxu(t, bk.preReadyAt)
+			bk.actReadyAt = maxu(bk.actReadyAt, pre+e.t.TRP)
+			bk.rowOpen = false
+		}
+		act := maxu(t, bk.actReadyAt)
+		// tRRD against the channel's last activate and the tFAW window.
+		// Window entries store act+1 so zero means "no activate yet".
+		if prev := ch.actTimes[(ch.actIdx+3)%4]; prev != 0 {
+			act = maxu(act, prev-1+e.t.TRRD)
+		}
+		if oldest := ch.actTimes[ch.actIdx]; oldest != 0 {
+			act = maxu(act, oldest-1+e.t.TFAW)
+		}
+		ch.actTimes[ch.actIdx] = act + 1
+		ch.actIdx = (ch.actIdx + 1) % 4
+		bk.rowOpen = true
+		bk.openRow = row
+		bk.colReadyAt = act + e.t.TRCD
+		bk.preReadyAt = act + e.t.TRAS
+		t = act
+	}
+
+	col := maxu(maxu(t, bk.colReadyAt), ch.busFreeAt)
+	bk.colReadyAt = col + e.t.TCCD
+
+	var first, last uint64
+	if write {
+		first = col + e.t.TCWD
+		last = first + e.t.TBL
+		bk.preReadyAt = maxu(bk.preReadyAt, last+e.t.TWR)
+	} else {
+		first = col + e.t.TCAS
+		last = first + e.t.TBL
+	}
+	ch.busFreeAt = last
+	return first, last, rowHit
+}

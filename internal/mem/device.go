@@ -1,0 +1,351 @@
+// Package mem models the two memory devices of the hybrid system: a DDR4
+// fast memory and an NVM slow memory, with per-channel bandwidth occupancy,
+// per-bank row-buffer timing and the energy accounting of Table I. The model
+// is deliberately at the "busy-until" level of detail — enough to produce
+// queueing, bandwidth saturation and realistic latency gaps between the
+// tiers, which is what the paper's results depend on — rather than a full
+// DDR protocol state machine.
+package mem
+
+import "baryon/internal/sim"
+
+// Config describes one memory device. All latencies are in CPU cycles
+// (3.2 GHz per Table I).
+type Config struct {
+	Name     string
+	Channels int
+	Banks    int // banks per channel (rank × bank folded together)
+
+	// RowHitLatency is the access latency when the target row is open
+	// (CAS only); RowMissLatency covers PRE+ACT+CAS.
+	RowHitLatency  uint64
+	RowMissLatency uint64
+	WriteLatency   uint64 // additional device write time beyond the read path
+
+	// BytesPerCycle is the peak per-channel transfer rate.
+	BytesPerCycle float64
+
+	RowBufferBytes uint64
+
+	// Energy model.
+	ReadPJPerBit  float64
+	WritePJPerBit float64
+	ActivatePJ    float64 // per row activation (ACT+PRE pair)
+
+	// DetailedTiming, when non-nil, replaces the busy-until demand-access
+	// model with the protocol-level DDR engine (JEDEC bank-state machine
+	// with refresh); background traffic keeps the queue model.
+	DetailedTiming *DDRTimings
+}
+
+// DDR4DetailedConfig returns the Table I fast memory driven by the
+// protocol-level DDR4-3200 timing engine.
+func DDR4DetailedConfig() Config {
+	cfg := DDR4Config()
+	t := DDR4Timings3200()
+	cfg.DetailedTiming = &t
+	return cfg
+}
+
+// DDR4Config returns the Table I fast-memory device: DDR4-3200, 4 channels,
+// 2 ranks x 16 banks, 22-22-22 timing, 5.0 pJ/bit RD/WR, 535.8 pJ ACT/PRE.
+func DDR4Config() Config {
+	return Config{
+		Name:     "DDR4-3200",
+		Channels: 4,
+		Banks:    32, // 2 ranks x 16 banks
+		// tCAS = 22 DRAM cycles @1600 MHz = 13.75 ns = 44 CPU cycles @3.2 GHz.
+		RowHitLatency:  44,
+		RowMissLatency: 132, // tRP + tRCD + tCAS
+		WriteLatency:   44,
+		// 3200 MT/s x 8 B bus = 25.6 GB/s per channel = 8 B per CPU cycle.
+		BytesPerCycle:  8.0,
+		RowBufferBytes: 2048,
+		ReadPJPerBit:   5.0,
+		WritePJPerBit:  5.0,
+		ActivatePJ:     535.8,
+	}
+}
+
+// NVMConfig returns the Table I slow-memory device: 1333 MHz, 4 channels,
+// 1 rank x 8 banks, 76.92 ns read / 230.77 ns write, 14 / 21 pJ/bit.
+func NVMConfig() Config {
+	return Config{
+		Name:     "NVM",
+		Channels: 4,
+		Banks:    8,
+		// 76.92 ns = 246 CPU cycles @3.2 GHz; NVM row buffers help little.
+		RowHitLatency:  246,
+		RowMissLatency: 246,
+		// 230.77 ns = 738 cycles; extra over the read path.
+		WriteLatency: 492,
+		// 1333 MT/s x 8 B = 10.66 GB/s per channel = 3.33 B per CPU cycle.
+		BytesPerCycle:  3.33,
+		RowBufferBytes: 2048,
+		ReadPJPerBit:   14.0,
+		WritePJPerBit:  21.0,
+		ActivatePJ:     0, // folded into per-bit cost for NVM
+	}
+}
+
+type bank struct {
+	busyUntil uint64
+	openRow   uint64
+	hasRow    bool
+}
+
+type channel struct {
+	freeAt  float64 // demand bus occupancy frontier, in cycles
+	bgBytes float64 // queued background bytes not yet drained
+	banks   []bank
+}
+
+// bgHighWater is the per-channel background queue depth (bytes) the
+// controller can absorb before background traffic starts delaying demand
+// accesses. Below it, background transfers drain into idle bus cycles.
+const bgHighWater = 32 * 1024
+
+// Device is one memory device instance.
+type Device struct {
+	cfg      Config
+	engine   *DDREngine
+	channels []channel
+
+	reads, writes              *sim.Counter
+	bytesRead, bytesWritten    *sim.Counter
+	rowHits, rowMisses         *sim.Counter
+	energyPJ                   float64
+	totalReadLat, maxQueueing  uint64
+	dbgChan, dbgBank, dbgSpill uint64
+}
+
+// NewDevice builds a device from cfg, registering its counters in stats
+// under the device name prefix.
+func NewDevice(cfg Config, stats *sim.Stats) *Device {
+	d := &Device{cfg: cfg}
+	if cfg.DetailedTiming != nil {
+		d.engine = NewDDREngine(*cfg.DetailedTiming, cfg.Channels, cfg.Banks, cfg.RowBufferBytes)
+	}
+	d.channels = make([]channel, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.Banks)
+	}
+	p := cfg.Name + "."
+	d.reads = stats.Counter(p + "reads")
+	d.writes = stats.Counter(p + "writes")
+	d.bytesRead = stats.Counter(p + "bytesRead")
+	d.bytesWritten = stats.Counter(p + "bytesWritten")
+	d.rowHits = stats.Counter(p + "rowHits")
+	d.rowMisses = stats.Counter(p + "rowMisses")
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Access performs a read or write of size bytes at device address addr
+// starting no earlier than cycle now, and returns the completion cycle.
+// Writes are accounted for bandwidth/energy but complete immediately from
+// the requester's perspective (posted writes buffered in the controller);
+// the returned cycle is when the data has actually been absorbed.
+//
+// Transfers larger than the 256 B channel-interleave granularity are
+// striped across channels, as the address mapping implies: each 256 B chunk
+// goes to its own channel and the access completes when the last chunk does.
+func (d *Device) Access(now uint64, addr uint64, size uint64, write bool) uint64 {
+	if size == 0 {
+		return now
+	}
+	const interleave = 256
+	if size > interleave {
+		var done uint64
+		for off := uint64(0); off < size; off += interleave {
+			n := size - off
+			if n > interleave {
+				n = interleave
+			}
+			if end := d.access(now, addr+off, n, write); end > done {
+				done = end
+			}
+		}
+		return done
+	}
+	return d.access(now, addr, size, write)
+}
+
+// AccessBackground performs a transfer that is off the critical path
+// (fills, writebacks, migrations, commits). Background bytes drain into
+// idle bus cycles; they only delay demand accesses once the per-channel
+// background queue exceeds its high-water mark — the "replacements are off
+// the critical path" behaviour of real memory controllers. The returned
+// cycle is a nominal completion time.
+func (d *Device) AccessBackground(now uint64, addr uint64, size uint64, write bool) uint64 {
+	if size == 0 {
+		return now
+	}
+	// Account bytes/energy/op counts identically to demand traffic.
+	const interleave = 256
+	for off := uint64(0); off < size; off += interleave {
+		n := size - off
+		if n > interleave {
+			n = interleave
+		}
+		ch := &d.channels[((addr+off)/256)%uint64(d.cfg.Channels)]
+		d.drain(ch, now)
+		ch.bgBytes += float64(n)
+		if write {
+			d.writes.Inc()
+			d.bytesWritten.Add(n)
+			d.energyPJ += float64(n*8) * d.cfg.WritePJPerBit
+		} else {
+			d.reads.Inc()
+			d.bytesRead.Add(n)
+			d.energyPJ += float64(n*8) * d.cfg.ReadPJPerBit
+		}
+	}
+	return now + d.cfg.RowMissLatency + uint64(float64(size)/d.cfg.BytesPerCycle)
+}
+
+// drain moves queued background bytes into the idle bus time up to now.
+func (d *Device) drain(ch *channel, now uint64) {
+	if float64(now) > ch.freeAt {
+		idle := float64(now) - ch.freeAt
+		drained := idle * d.cfg.BytesPerCycle
+		if drained > ch.bgBytes {
+			drained = ch.bgBytes
+		}
+		ch.bgBytes -= drained
+		ch.freeAt += drained / d.cfg.BytesPerCycle
+	}
+}
+
+func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64 {
+	if d.engine != nil {
+		return d.accessDetailed(now, addr, size, write)
+	}
+	ch := &d.channels[(addr/256)%uint64(d.cfg.Channels)]
+	bk := &ch.banks[(addr/d.cfg.RowBufferBytes)%uint64(d.cfg.Banks)]
+	row := addr / d.cfg.RowBufferBytes / uint64(d.cfg.Banks)
+
+	d.drain(ch, now)
+	start := float64(now)
+	if ch.freeAt > start {
+		start = ch.freeAt
+		d.dbgChan++
+	}
+	// A saturated background queue spills onto the demand path.
+	if ch.bgBytes > bgHighWater {
+		spill := (ch.bgBytes - bgHighWater) / d.cfg.BytesPerCycle
+		start += spill
+		ch.bgBytes = bgHighWater
+		d.dbgSpill += uint64(spill)
+	}
+	if float64(bk.busyUntil) > start {
+		start = float64(bk.busyUntil)
+		d.dbgBank++
+	}
+	queue := uint64(start) - now
+	if queue > d.maxQueueing {
+		d.maxQueueing = queue
+	}
+
+	lat := d.cfg.RowHitLatency
+	if !bk.hasRow || bk.openRow != row {
+		lat = d.cfg.RowMissLatency
+		bk.openRow, bk.hasRow = row, true
+		d.rowMisses.Inc()
+		d.energyPJ += d.cfg.ActivatePJ
+	} else {
+		d.rowHits.Inc()
+	}
+	if write {
+		lat += d.cfg.WriteLatency
+	}
+
+	xfer := float64(size) / d.cfg.BytesPerCycle
+	ch.freeAt = start + xfer
+	done := uint64(start+xfer) + lat
+	// The bank is occupied for the transfer itself; subsequent row-hit
+	// accesses pipeline while earlier data is in flight.
+	bk.busyUntil = uint64(start + xfer)
+
+	if write {
+		d.writes.Inc()
+		d.bytesWritten.Add(size)
+		d.energyPJ += float64(size*8) * d.cfg.WritePJPerBit
+	} else {
+		d.reads.Inc()
+		d.bytesRead.Add(size)
+		d.energyPJ += float64(size*8) * d.cfg.ReadPJPerBit
+		d.totalReadLat += done - now
+	}
+	return done
+}
+
+// EnergyPJ returns the accumulated access energy in picojoules.
+func (d *Device) EnergyPJ() float64 { return d.energyPJ }
+
+// TotalBytes returns the total bytes moved in either direction.
+func (d *Device) TotalBytes() uint64 { return d.bytesRead.Value() + d.bytesWritten.Value() }
+
+// AvgReadLatency returns the mean observed read latency in cycles.
+func (d *Device) AvgReadLatency() float64 {
+	return sim.Ratio(d.totalReadLat, d.reads.Value())
+}
+
+// Reset clears all timing state and latency accumulators (counters are owned
+// by the Stats collection and reset there).
+func (d *Device) Reset() {
+	for i := range d.channels {
+		d.channels[i].freeAt = 0
+		d.channels[i].bgBytes = 0
+		for j := range d.channels[i].banks {
+			d.channels[i].banks[j] = bank{}
+		}
+	}
+	d.energyPJ = 0
+	d.totalReadLat = 0
+	d.maxQueueing = 0
+}
+
+// accessDetailed serves one demand access through the protocol engine,
+// keeping the background-queue spill behaviour of the simple model.
+func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool) uint64 {
+	ch := &d.channels[(addr/256)%uint64(d.cfg.Channels)]
+	d.drain(ch, now)
+	start := now
+	if ch.bgBytes > bgHighWater {
+		start += uint64((ch.bgBytes - bgHighWater) / d.cfg.BytesPerCycle)
+		ch.bgBytes = bgHighWater
+	}
+	var done uint64
+	for off := uint64(0); off < size; off += 64 {
+		_, last, rowHit := d.engine.Access(start, addr+off, write)
+		if last > done {
+			done = last
+		}
+		if rowHit {
+			d.rowHits.Inc()
+		} else {
+			d.rowMisses.Inc()
+			d.energyPJ += d.cfg.ActivatePJ
+		}
+	}
+	if write {
+		d.writes.Inc()
+		d.bytesWritten.Add(size)
+		d.energyPJ += float64(size*8) * d.cfg.WritePJPerBit
+	} else {
+		d.reads.Inc()
+		d.bytesRead.Add(size)
+		d.energyPJ += float64(size*8) * d.cfg.ReadPJPerBit
+		d.totalReadLat += done - now
+	}
+	return done
+}
+
+// MaxQueueing returns the worst demand-access queueing delay observed.
+func (d *Device) MaxQueueing() uint64 { return d.maxQueueing }
+
+// DebugQueueing reports (channel-queued count, bank-queued count, total spill cycles).
+func (d *Device) DebugQueueing() (uint64, uint64, uint64) { return d.dbgChan, d.dbgBank, d.dbgSpill }

@@ -1,0 +1,236 @@
+package metadata
+
+import (
+	"testing"
+	"testing/quick"
+
+	"baryon/internal/hybrid"
+	"baryon/internal/sim"
+)
+
+func TestStageTagRoundTrip(t *testing.T) {
+	entry := StageTag{
+		Valid:   true,
+		Super:   0x1ABCD,
+		LRU:     5,
+		FIFO:    3,
+		MissCnt: 0xBEEF,
+	}
+	entry.Slots[0] = Range{Valid: true, CF: 1, Dirty: true, BlkOff: 7, SubOff: 5}
+	entry.Slots[1] = Range{Valid: true, CF: 2, BlkOff: 3, SubOff: 6}
+	entry.Slots[2] = Range{Valid: true, CF: 4, Dirty: true, BlkOff: 1, SubOff: 4}
+	entry.Slots[3] = Range{Valid: true, CF: 4, Zero: true, BlkOff: 2}
+	got := DecodeStageTag(entry.Encode())
+	if got.Super != entry.Super || got.LRU != entry.LRU || got.FIFO != entry.FIFO ||
+		got.MissCnt != entry.MissCnt || !got.Valid {
+		t.Fatalf("header mismatch: %+v vs %+v", got, entry)
+	}
+	for i := range entry.Slots {
+		if got.Slots[i] != entry.Slots[i] {
+			t.Fatalf("slot %d: %+v vs %+v", i, got.Slots[i], entry.Slots[i])
+		}
+	}
+}
+
+func TestStageTagRoundTripQuick(t *testing.T) {
+	f := func(super uint32, lru, fifo uint8, miss uint16, cfSel, dirty, blk, sub [8]uint8) bool {
+		entry := StageTag{Valid: true, Super: hybrid.SuperBlockID(super & 0x1FFFFF),
+			LRU: lru & 7, FIFO: fifo & 7, MissCnt: miss}
+		for i := 0; i < 8; i++ {
+			switch cfSel[i] % 5 {
+			case 0: // empty
+			case 1:
+				entry.Slots[i] = Range{Valid: true, CF: 1, Dirty: dirty[i]&1 != 0,
+					BlkOff: blk[i] & 7, SubOff: sub[i] & 7}
+			case 2:
+				entry.Slots[i] = Range{Valid: true, CF: 2, Dirty: dirty[i]&1 != 0,
+					BlkOff: blk[i] & 7, SubOff: sub[i] & 3 * 2}
+			case 3:
+				entry.Slots[i] = Range{Valid: true, CF: 4, Dirty: dirty[i]&1 != 0,
+					BlkOff: blk[i] & 7, SubOff: sub[i] & 1 * 4}
+			case 4:
+				entry.Slots[i] = Range{Valid: true, CF: 4, Zero: true, BlkOff: blk[i] & 7}
+			}
+		}
+		got := DecodeStageTag(entry.Encode())
+		return got == entry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageTagInvalidEntry(t *testing.T) {
+	var entry StageTag
+	got := DecodeStageTag(entry.Encode())
+	if got.Valid {
+		t.Fatal("zero entry decoded as valid")
+	}
+}
+
+func TestRemapEntryRoundTripQuick(t *testing.T) {
+	f := func(remap, ptr, cf2, cf4 uint8, z bool) bool {
+		e := RemapEntry{Remap: remap, Pointer: ptr & 3}
+		if z {
+			e.Z = true
+		} else {
+			e.CF2 = cf2 & 0xF
+			e.CF4 = cf4 & 0x3
+			if e.CF2 == 0xF && e.CF4 == 0x3 {
+				e.CF4 = 0 // the all-ones combination is reserved for Z
+			}
+		}
+		return DecodeRemapEntry(e.Encode()) == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotsUsed(t *testing.T) {
+	// A0, A2, A4-A7 (CF4): remap bits 10101111 reading sub 0 as LSB =
+	// subs {0,2,4,5,6,7}; CF4 on quad 1. Slots = 6 - 0 - 3 = 3.
+	e := RemapEntry{Remap: 0b11110101, CF4: 0b10}
+	if got := e.SlotsUsed(); got != 3 {
+		t.Fatalf("SlotsUsed=%d, want 3", got)
+	}
+	z := RemapEntry{Remap: 0xFF, Z: true}
+	if got := z.SlotsUsed(); got != 0 {
+		t.Fatalf("Z block SlotsUsed=%d, want 0", got)
+	}
+}
+
+// TestSlotPositionPaperExample reproduces the B3 lookup example from
+// Section III-C: A0, A2, A4-A7 and B1 each take one sub-block slot before
+// B3, so B3 is in the 5th slot (index 4... the paper counts "the 5th
+// sub-block of Z" with A taking 3 slots (A0, A2, A4-A7 compressed) plus B1,
+// then B3).
+func TestSlotPositionPaperExample(t *testing.T) {
+	var se SuperEntries
+	// Block A (offset 0): subs 0,2,4,5,6,7 in fast memory; 4-7 at CF4.
+	se[0] = RemapEntry{Remap: 0b11110101, CF4: 0b10, Pointer: 2}
+	// Block B (offset 1): subs 1 and 3, uncompressed.
+	se[1] = RemapEntry{Remap: 0b00001010, Pointer: 2}
+	// A uses slots 0..2 (A0, A2, A4-A7); B1 takes slot 3; B3 takes slot 4.
+	if got := se.SlotPosition(1, 3); got != 4 {
+		t.Fatalf("B3 slot=%d, want 4", got)
+	}
+	if got := se.SlotPosition(1, 1); got != 3 {
+		t.Fatalf("B1 slot=%d, want 3", got)
+	}
+	if got := se.SlotPosition(0, 4); got != 2 {
+		t.Fatalf("A4 slot=%d, want 2", got)
+	}
+}
+
+// TestSlotPositionPrefixSum cross-checks the prefix-sum decode against a
+// brute-force walk of the sorted layout for randomized entries.
+func TestSlotPositionPrefixSum(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for iter := 0; iter < 2000; iter++ {
+		var se SuperEntries
+		ptr := uint8(rng.Intn(4))
+		// Build random consistent entries sharing one pointer.
+		for b := range se {
+			if rng.Bool(0.4) {
+				continue
+			}
+			e := RemapEntry{Pointer: ptr}
+			for q := 0; q < 2; q++ { // quad granularity decisions
+				switch rng.Intn(4) {
+				case 0: // CF4 quad
+					e.Remap |= 0xF << (4 * q)
+					e.CF4 |= 1 << q
+				case 1: // two CF2 pairs (maybe)
+					for p := 0; p < 2; p++ {
+						if rng.Bool(0.5) {
+							e.Remap |= 0x3 << (4*q + 2*p)
+							e.CF2 |= 1 << (2*q + p)
+						}
+					}
+				case 2: // scattered CF1 subs
+					for s := 0; s < 4; s++ {
+						if rng.Bool(0.4) {
+							e.Remap |= 1 << (4*q + s)
+						}
+					}
+				}
+			}
+			se[b] = e
+		}
+		// Brute force: walk blocks in order, ranges in order, count slots.
+		type key struct{ blk, sub int }
+		want := make(map[key]int)
+		slot := 0
+		for b := 0; b < 8; b++ {
+			e := se[b]
+			if !e.Valid() || e.Pointer != ptr {
+				continue
+			}
+			for s := 0; s < 8; {
+				if e.Remap&(1<<s) == 0 {
+					s++
+					continue
+				}
+				start, cf := e.RangeOf(s)
+				want[key{b, start}] = slot
+				slot++
+				s = start + cf
+			}
+		}
+		for k, wantSlot := range want {
+			if got := se.SlotPosition(k.blk, k.sub); got != wantSlot {
+				t.Fatalf("iter %d: block %d sub %d: slot %d, want %d (entries %+v)",
+					iter, k.blk, k.sub, got, wantSlot, se)
+			}
+		}
+	}
+}
+
+func TestRemapCacheBasics(t *testing.T) {
+	stats := sim.NewStats()
+	rc := NewRemapCache(4, 2, stats)
+	if rc.Lookup(100) {
+		t.Fatal("empty cache hit")
+	}
+	rc.Insert(100)
+	if !rc.Lookup(100) {
+		t.Fatal("inserted line missed")
+	}
+	if !rc.MarkDirty(100) {
+		t.Fatal("MarkDirty on cached line returned false")
+	}
+	// Fill the set of super 100 (sets=4: supers 100, 104 share set 0).
+	rc.Insert(104)
+	rc.Lookup(104)
+	// Next insert to the same set evicts LRU (100, dirty) -> writeback.
+	if !rc.Insert(108) {
+		t.Fatal("expected dirty writeback on eviction")
+	}
+	if rc.Lookup(100) {
+		t.Fatal("evicted line still present")
+	}
+}
+
+func TestRemapCacheStorageBudget(t *testing.T) {
+	stats := sim.NewStats()
+	rc := NewRemapCache(256, 8, stats)
+	// Table I: 32 kB remap cache (256 sets x 8 ways x 16 B of entries,
+	// plus tag overhead).
+	if got := rc.StorageBytes(); got < 32*1024 || got > 42*1024 {
+		t.Fatalf("remap cache storage %d B, want ~32-40 kB", got)
+	}
+}
+
+func TestRangeCovers(t *testing.T) {
+	r := Range{Valid: true, CF: 4, BlkOff: 2, SubOff: 4}
+	for s := 0; s < 8; s++ {
+		want := s >= 4
+		if got := r.Covers(2, s); got != want {
+			t.Errorf("Covers(2,%d)=%v, want %v", s, got, want)
+		}
+	}
+	if r.Covers(3, 5) {
+		t.Error("range covers wrong block")
+	}
+}

@@ -1,0 +1,105 @@
+package metadata
+
+import "baryon/internal/sim"
+
+// RemapCache models the on-chip SRAM remap cache of Table I: 256 sets,
+// 8 ways, one line per super-block holding that super-block's eight 2-byte
+// remap entries (16 B) plus tag. It tracks presence/dirtiness for timing and
+// metadata-traffic accounting; the authoritative entries live in the
+// controller's remap table (resident in fast memory).
+type RemapCache struct {
+	sets, ways int
+	tags       [][]rcLine
+	tick       uint64
+
+	hits, misses, writebacks *sim.Counter
+}
+
+type rcLine struct {
+	super   uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// NewRemapCache builds a sets x ways remap cache and registers counters.
+func NewRemapCache(sets, ways int, stats *sim.Stats) *RemapCache {
+	c := &RemapCache{sets: sets, ways: ways}
+	c.tags = make([][]rcLine, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]rcLine, ways)
+	}
+	c.hits = stats.Counter("remapCache.hits")
+	c.misses = stats.Counter("remapCache.misses")
+	c.writebacks = stats.Counter("remapCache.writebacks")
+	return c
+}
+
+func (c *RemapCache) set(super uint64) []rcLine { return c.tags[super%uint64(c.sets)] }
+
+// Lookup probes for super's line, updating LRU and counters.
+func (c *RemapCache) Lookup(super uint64) bool {
+	c.tick++
+	set := c.set(super)
+	for i := range set {
+		if set[i].valid && set[i].super == super {
+			set[i].lastUse = c.tick
+			c.hits.Inc()
+			return true
+		}
+	}
+	c.misses.Inc()
+	return false
+}
+
+// Insert fills super's line after a miss. It returns whether a dirty victim
+// line was written back (16 B of metadata traffic to the off-chip table).
+func (c *RemapCache) Insert(super uint64) (wroteBack bool) {
+	c.tick++
+	set := c.set(super)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].super == super {
+			set[i].lastUse = c.tick
+			return false
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	wroteBack = set[victim].valid && set[victim].dirty
+	if wroteBack {
+		c.writebacks.Inc()
+	}
+	set[victim] = rcLine{super: super, valid: true, lastUse: c.tick}
+	return wroteBack
+}
+
+// MarkDirty records an update to super's entries. It returns true when the
+// line is cached (update absorbed on chip) and false when the update must go
+// straight to the off-chip table.
+func (c *RemapCache) MarkDirty(super uint64) bool {
+	set := c.set(super)
+	for i := range set {
+		if set[i].valid && set[i].super == super {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// HitRate returns hits/(hits+misses).
+func (c *RemapCache) HitRate() float64 {
+	return sim.Ratio(c.hits.Value(), c.hits.Value()+c.misses.Value())
+}
+
+// StorageBytes returns the SRAM budget of the cache: per line, eight 2-byte
+// entries plus a 26-bit tag+state rounded to 4 bytes.
+func (c *RemapCache) StorageBytes() int {
+	return c.sets * c.ways * (8*RemapEntryBytes + 4)
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Stats is a named collection of counters. Controllers and devices register
+// their counters here so experiments can render uniform reports.
+type Stats struct {
+	order    []string
+	counters map[string]*Counter
+}
+
+// NewStats returns an empty collection.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Stats) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Get returns the value of a counter, or 0 if it was never registered.
+func (s *Stats) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Names returns the counter names in registration order.
+func (s *Stats) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Reset zeroes every counter but keeps the registrations.
+func (s *Stats) Reset() {
+	for _, c := range s.counters {
+		c.v = 0
+	}
+}
+
+// String renders the counters as "name=value" lines in registration order.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.counters[name].v)
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a float, or 0 when den is zero.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Sample accumulates float observations and reports distribution summaries.
+// It keeps every observation; the workloads in this repository produce at
+// most a few hundred thousand samples per run.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Box summarises the sample as the 5/25/50/75/95 percentiles, the box-plot
+// shape used by the paper's Fig. 4.
+type Box struct {
+	P5, P25, P50, P75, P95 float64
+	N                      int
+}
+
+// Box returns the five-number summary of the sample.
+func (s *Sample) Box() Box {
+	return Box{
+		P5:  s.Percentile(5),
+		P25: s.Percentile(25),
+		P50: s.Percentile(50),
+		P75: s.Percentile(75),
+		P95: s.Percentile(95),
+		N:   len(s.xs),
+	}
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+// It is the aggregation the paper uses for cross-workload speedups.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// workloadJSON is the on-disk representation of a Workload, with the
+// pattern spelled out as a string for hand-editing.
+type workloadJSON struct {
+	Name            string     `json:"name"`
+	Pattern         string     `json:"pattern"`
+	FootprintFactor float64    `json:"footprintFactor"`
+	Shared          bool       `json:"shared,omitempty"`
+	BlockUtil       float64    `json:"blockUtil"`
+	WriteRatio      float64    `json:"writeRatio"`
+	BurstLines      int        `json:"burstLines,omitempty"`
+	GapMean         uint32     `json:"gapMean"`
+	ZipfTheta       float64    `json:"zipfTheta,omitempty"`
+	MixWeights      [5]float64 `json:"mixWeights"`
+}
+
+var patternNames = map[Pattern]string{
+	PatternStream: "stream",
+	PatternRandom: "random",
+	PatternZipf:   "zipf",
+	PatternGraph:  "graph",
+	PatternKV:     "kv",
+}
+
+// MarshalJSON implements json.Marshaler for Workload.
+func (w Workload) MarshalJSON() ([]byte, error) {
+	return json.Marshal(workloadJSON{
+		Name:            w.Name,
+		Pattern:         patternNames[w.Pattern],
+		FootprintFactor: w.FootprintFactor,
+		Shared:          w.Shared,
+		BlockUtil:       w.BlockUtil,
+		WriteRatio:      w.WriteRatio,
+		BurstLines:      w.BurstLines,
+		GapMean:         w.GapMean,
+		ZipfTheta:       w.ZipfTheta,
+		MixWeights:      w.Mix.Weights,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Workload.
+func (w *Workload) UnmarshalJSON(data []byte) error {
+	var j workloadJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	pattern := Pattern(0xFF)
+	for p, name := range patternNames {
+		if name == j.Pattern {
+			pattern = p
+		}
+	}
+	if pattern == 0xFF {
+		return fmt.Errorf("trace: unknown pattern %q", j.Pattern)
+	}
+	if j.Name == "" {
+		return fmt.Errorf("trace: workload needs a name")
+	}
+	if j.FootprintFactor <= 0 {
+		return fmt.Errorf("trace: %s: footprintFactor must be positive", j.Name)
+	}
+	if j.BlockUtil <= 0 || j.BlockUtil > 1 {
+		return fmt.Errorf("trace: %s: blockUtil must be in (0, 1]", j.Name)
+	}
+	if j.WriteRatio < 0 || j.WriteRatio > 1 {
+		return fmt.Errorf("trace: %s: writeRatio must be in [0, 1]", j.Name)
+	}
+	if j.GapMean == 0 {
+		return fmt.Errorf("trace: %s: gapMean must be positive", j.Name)
+	}
+	w.Name = j.Name
+	w.Pattern = pattern
+	w.FootprintFactor = j.FootprintFactor
+	w.Shared = j.Shared
+	w.BlockUtil = j.BlockUtil
+	w.WriteRatio = j.WriteRatio
+	w.BurstLines = j.BurstLines
+	w.GapMean = j.GapMean
+	w.ZipfTheta = j.ZipfTheta
+	w.Mix.Weights = j.MixWeights
+	return nil
+}
+
+// LoadFile reads one custom workload definition from a JSON file, so users
+// can model their own applications without recompiling (see cmd/baryonsim's
+// -workload-file flag).
+func LoadFile(path string) (Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Workload{}, err
+	}
+	var w Workload
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

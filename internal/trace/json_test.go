@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	for _, w := range All() {
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", w.Name, err)
+		}
+		var back Workload
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", w.Name, err)
+		}
+		if back != w {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", w.Name, back, w)
+		}
+	}
+}
+
+func TestWorkloadJSONValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad pattern", `{"name":"x","pattern":"nope","footprintFactor":1,"blockUtil":0.5,"writeRatio":0,"gapMean":5}`},
+		{"missing name", `{"pattern":"zipf","footprintFactor":1,"blockUtil":0.5,"writeRatio":0,"gapMean":5}`},
+		{"bad footprint", `{"name":"x","pattern":"zipf","footprintFactor":0,"blockUtil":0.5,"writeRatio":0,"gapMean":5}`},
+		{"bad util", `{"name":"x","pattern":"zipf","footprintFactor":1,"blockUtil":2,"writeRatio":0,"gapMean":5}`},
+		{"bad writeRatio", `{"name":"x","pattern":"zipf","footprintFactor":1,"blockUtil":0.5,"writeRatio":1.5,"gapMean":5}`},
+		{"zero gap", `{"name":"x","pattern":"zipf","footprintFactor":1,"blockUtil":0.5,"writeRatio":0,"gapMean":0}`},
+		{"not json", `{`},
+	}
+	for _, tc := range cases {
+		var w Workload
+		if err := json.Unmarshal([]byte(tc.body), &w); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.json")
+	body := `{
+		"name": "my-app",
+		"pattern": "zipf",
+		"footprintFactor": 2.0,
+		"blockUtil": 0.5,
+		"writeRatio": 0.2,
+		"burstLines": 4,
+		"gapMean": 8,
+		"zipfTheta": 0.8,
+		"mixWeights": [1, 1, 1, 1, 1]
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "my-app" || w.Pattern != PatternZipf || w.ZipfTheta != 0.8 {
+		t.Fatalf("loaded %+v", w)
+	}
+	// The loaded workload must produce a usable stream.
+	s := w.NewStream(0, 1024, 1)
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

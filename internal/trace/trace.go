@@ -1,0 +1,321 @@
+// Package trace generates the memory access streams that substitute for the
+// paper's workloads (SPEC CPU2017 rate mode, GAP graph kernels, OneDNN
+// inference, memcached+YCSB). Each workload is described by an access
+// pattern (streaming, uniform random, Zipfian, graph traversal, key-value),
+// a footprint relative to fast-memory capacity, a block-utilisation factor
+// (which fraction of each 2 kB block the program actually touches — the
+// property sub-blocking exploits), a write ratio, and a value-class mix for
+// internal/datagen (the property compression exploits). Streams are
+// deterministic per (workload, core, seed).
+package trace
+
+import (
+	"baryon/internal/datagen"
+	"baryon/internal/hybrid"
+	"baryon/internal/sim"
+)
+
+// Pattern selects the address-generation behaviour of a workload.
+type Pattern uint8
+
+// Supported access patterns.
+const (
+	// PatternStream sweeps the footprint sequentially (lbm, fotonik3d,
+	// bwaves, DNN weight streaming).
+	PatternStream Pattern = iota
+	// PatternRandom touches uniformly random blocks (mcf pointer chasing,
+	// xz dictionary probing).
+	PatternRandom
+	// PatternZipf touches blocks with a Zipfian popularity (omnetpp event
+	// structures, cactuBSSN).
+	PatternZipf
+	// PatternGraph alternates a sequential vertex-array sweep with bursts of
+	// Zipf-distributed edge-target accesses (GAP pagerank/cc).
+	PatternGraph
+	// PatternKV accesses whole 1 kB records under a Zipfian key popularity
+	// (memcached+YCSB).
+	PatternKV
+)
+
+// Access is one memory reference in a trace.
+type Access struct {
+	Addr  uint64
+	Write bool
+	// Gap is the number of non-memory instructions executed before this
+	// access (used for timing and for per-kilo-instruction statistics).
+	Gap uint32
+}
+
+// Workload describes one benchmark's memory behaviour.
+type Workload struct {
+	Name string
+	// Pattern is the address-generation behaviour.
+	Pattern Pattern
+	// FootprintFactor is the data footprint as a multiple of fast-memory
+	// capacity (the paper's workloads range from ~1.4x to ~8.6x).
+	FootprintFactor float64
+	// Shared is true when all cores share one footprint (GAP, DNN, YCSB);
+	// false gives each core a private copy (SPEC rate mode).
+	Shared bool
+	// BlockUtil is the fraction of each block's eight sub-blocks the
+	// program touches (sub-blocking headroom).
+	BlockUtil float64
+	// WriteRatio is the fraction of accesses that are stores.
+	WriteRatio float64
+	// BurstLines is the mean number of consecutive cachelines touched per
+	// location (spatial locality within a sub-block/record).
+	BurstLines int
+	// GapMean is the mean non-memory instruction gap between accesses.
+	GapMean uint32
+	// ZipfTheta is the skew for Zipfian patterns.
+	ZipfTheta float64
+	// Mix is the value-class distribution that sets compressibility.
+	Mix datagen.Mix
+}
+
+// Blocks returns the workload footprint in 2 kB blocks for a fast memory of
+// fastBlocks blocks.
+func (w *Workload) Blocks(fastBlocks uint64) uint64 {
+	n := uint64(float64(fastBlocks) * w.FootprintFactor)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Stream produces the access sequence of one core.
+type Stream struct {
+	w        *Workload
+	rng      *sim.RNG
+	zipf     *sim.Zipf
+	base     uint64   // first block of this core's region
+	blocks   uint64   // region size in blocks
+	seqPtr   uint64   // streaming position (line granularity)
+	pending  []uint64 // remaining addresses of the current block visit
+	burstWr  bool
+	scanMode bool // PatternGraph: alternates scan and random phases
+	scanLeft int
+}
+
+// NewStream returns core's deterministic access stream. fastBlocks sizes the
+// footprint; streams of the same (workload, core, seed) are identical.
+func (w *Workload) NewStream(core int, fastBlocks uint64, seed uint64) *Stream {
+	rng := sim.NewRNG(seed ^ uint64(core)*0x9E3779B97F4A7C15 ^ hashName(w.Name))
+	total := w.Blocks(fastBlocks)
+	s := &Stream{w: w, rng: rng}
+	if w.Shared {
+		s.base, s.blocks = 0, total
+	} else {
+		per := total / 16
+		if per == 0 {
+			per = 1
+		}
+		s.base, s.blocks = uint64(core)*per, per
+	}
+	switch w.Pattern {
+	case PatternZipf, PatternGraph:
+		// Popularity is drawn at 16 kB (super-block) granularity: hot data
+		// structures span multiple blocks, so neighbouring blocks tend to be
+		// hot together — the spatial clustering super-block metadata
+		// schemes (and footprint prediction) rely on.
+		units := s.blocks / hotClusterBlocks
+		if units == 0 {
+			units = 1
+		}
+		s.zipf = sim.NewZipf(rng, units, w.ZipfTheta, true)
+	case PatternKV:
+		// Records are laid out in insertion order, so hot records are
+		// contiguous in rank order (no scrambling): hot pages cluster.
+		s.zipf = sim.NewZipf(rng, s.blocks*2, w.ZipfTheta, false)
+	}
+	return s
+}
+
+// hotClusterBlocks is the spatial clustering granularity of Zipfian
+// popularity, in 2 kB blocks (16 kB regions).
+const hotClusterBlocks = 8
+
+// zipfBlock samples a block with super-block-clustered popularity.
+func (s *Stream) zipfBlock() uint64 {
+	cluster := s.zipf.Next()
+	b := cluster*hotClusterBlocks + uint64(s.rng.Intn(hotClusterBlocks))
+	if b >= s.blocks {
+		b = s.blocks - 1
+	}
+	return s.base + b
+}
+
+// zipfVisit visits a Zipf-chosen block and, with region-level temporal
+// locality, chains visits to neighbouring blocks of the same 16 kB region:
+// programs that touch one 2 kB block of an array chunk or arena typically
+// touch its neighbours in the same window. This is the spatial clustering
+// super-block metadata schemes amortise over.
+func (s *Stream) zipfVisit(visit int) uint64 {
+	cluster := s.zipf.Next()
+	start := s.rng.Intn(hotClusterBlocks)
+	chain := 1 + s.rng.Intn(3)
+	var first uint64
+	for j := 0; j < chain; j++ {
+		b := cluster*hotClusterBlocks + uint64((start+j)%hotClusterBlocks)
+		if b >= s.blocks {
+			b = s.blocks - 1
+		}
+		addr := s.visitBlock(s.base+b, visit)
+		if j == 0 {
+			first = addr
+		} else {
+			// The chained block's first access also goes through pending.
+			s.pending = append(s.pending, addr)
+		}
+	}
+	return first
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// allowedSubs returns the deterministic set of sub-blocks the program uses
+// in this block, as a contiguous wrap-around range (start, count).
+func (s *Stream) allowedSubs(block uint64) (int, int) {
+	count := int(s.w.BlockUtil*hybrid.SubBlocks + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > hybrid.SubBlocks {
+		count = hybrid.SubBlocks
+	}
+	start := int(hash(block) % hybrid.SubBlocks)
+	return start, count
+}
+
+func hash(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// visitBlock builds a block visit: n accesses spread across the block's
+// live (allowed) sub-blocks, the way real code touches several fields and
+// regions of a page in a short window. This intra-visit spatial locality is
+// what footprint accumulation (Unison's history, Baryon's stage phase)
+// exploits; without it no sub-blocked design can learn useful footprints.
+func (s *Stream) visitBlock(block uint64, n int) uint64 {
+	start, count := s.allowedSubs(block)
+	var first uint64
+	emitted, subIdx := 0, 0
+	for emitted < n {
+		sub := (start + subIdx%count) % hybrid.SubBlocks
+		subIdx++
+		// Touch a consecutive run of lines within the sub-block: programs
+		// use most of a 256 B region once they touch it (the premise behind
+		// the paper's sub-block size choice).
+		runLen := 1 + s.rng.Intn(hybrid.LinesPerSub)
+		l0 := s.rng.Intn(hybrid.LinesPerSub - runLen + 1)
+		for k := 0; k < runLen && emitted < n; k++ {
+			addr := block*hybrid.BlockSize + uint64(sub)*hybrid.SubBlockSize + uint64(l0+k)*hybrid.CachelineSize
+			if emitted == 0 {
+				first = addr
+			} else {
+				s.pending = append(s.pending, addr)
+			}
+			emitted++
+		}
+	}
+	return first
+}
+
+// Next returns the stream's next access. Streams are unbounded; the runner
+// decides the access budget.
+func (s *Stream) Next() Access {
+	gap := s.w.GapMean/2 + uint32(s.rng.Intn(int(s.w.GapMean)+1))
+	if len(s.pending) > 0 {
+		addr := s.pending[0]
+		s.pending = s.pending[1:]
+		write := s.burstWr && s.rng.Bool(0.7)
+		return Access{Addr: addr, Write: write, Gap: gap}
+	}
+
+	var addr uint64
+	write := s.rng.Bool(s.w.WriteRatio)
+	visit := 1
+	if s.w.BurstLines > 1 {
+		visit = 1 + s.rng.Intn(s.w.BurstLines)
+	}
+	switch s.w.Pattern {
+	case PatternStream:
+		addr = s.nextStreamLine()
+		// Streams advance linearly; emit the next lines as the visit.
+		for i := 1; i < visit; i++ {
+			s.pending = append(s.pending, s.nextStreamLine())
+		}
+	case PatternRandom:
+		addr = s.visitBlock(s.base+s.rng.Uint64n(s.blocks), visit)
+	case PatternZipf:
+		addr = s.zipfVisit(visit)
+	case PatternGraph:
+		if s.scanLeft == 0 {
+			s.scanMode = !s.scanMode
+			if s.scanMode {
+				s.scanLeft = 8 // vertex-array scan burst
+			} else {
+				s.scanLeft = 56 // irregular edge-target accesses dominate
+			}
+		}
+		s.scanLeft--
+		if s.scanMode {
+			addr = s.nextStreamLine()
+		} else {
+			addr = s.zipfVisit(visit)
+		}
+	case PatternKV:
+		rec := s.zipf.Next()
+		base := (s.base*hybrid.BlockSize + rec*1024) &^ (hybrid.CachelineSize - 1)
+		// Whole-record operations: reads scan part of the record, writes
+		// rewrite most of it.
+		n := 4 + s.rng.Intn(8)
+		if write {
+			n = 12
+		}
+		for i := 1; i < n; i++ {
+			s.pending = append(s.pending, base+uint64(i)*hybrid.CachelineSize)
+		}
+		addr = base
+	}
+	s.burstWr = write
+	return Access{Addr: addr, Write: write, Gap: gap}
+}
+
+// nextStreamLine advances the sequential sweep, skipping sub-blocks outside
+// the block's allowed set and wrapping at the region end.
+func (s *Stream) nextStreamLine() uint64 {
+	for {
+		lineIdx := s.seqPtr
+		s.seqPtr++
+		totalLines := s.blocks * hybrid.BlockSize / hybrid.CachelineSize
+		if s.seqPtr >= totalLines {
+			s.seqPtr = 0
+		}
+		addr := (s.base*hybrid.BlockSize + lineIdx*hybrid.CachelineSize)
+		block := addr / hybrid.BlockSize
+		sub := int(addr % hybrid.BlockSize / hybrid.SubBlockSize)
+		start, count := s.allowedSubs(block)
+		if inRange(sub, start, count) {
+			return addr
+		}
+	}
+}
+
+func inRange(sub, start, count int) bool {
+	for i := 0; i < count; i++ {
+		if (start+i)%hybrid.SubBlocks == sub {
+			return true
+		}
+	}
+	return false
+}
