@@ -1,0 +1,23 @@
+# Standard verification pipeline. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short allocation smoke: tracks the single-run hot path (allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench SingleRun -benchmem -benchtime 2x .
+
+check: build vet race bench

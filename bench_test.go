@@ -8,6 +8,7 @@ package baryon
 
 import (
 	"testing"
+	"time"
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
@@ -174,6 +175,30 @@ func BenchmarkExtra_RemapCacheSweep(b *testing.B) {
 			b.ReportMetric(sum/float64(n), "remap-hit-rate-32kB")
 		}
 	}
+}
+
+// BenchmarkFig9Parallel measures the worker-pool engine: a serial Fig9
+// regeneration is timed once before the timer starts, then the parallel runs
+// are measured, and the ratio is reported as speedup-vs-serial (1.0 on a
+// single-CPU machine, approaching the worker count on larger ones).
+func BenchmarkFig9Parallel(b *testing.B) {
+	cfg := benchConfig()
+	defer experiment.SetParallelism(0)
+
+	experiment.SetParallelism(1)
+	serialStart := time.Now()
+	experiment.Fig9(cfg)
+	serial := time.Since(serialStart)
+
+	experiment.SetParallelism(0) // GOMAXPROCS workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig9(cfg)
+	}
+	parallel := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-vs-serial")
+	b.ReportMetric(float64(experiment.Parallelism()), "workers")
 }
 
 // BenchmarkSingleRun measures the simulator's own throughput on one

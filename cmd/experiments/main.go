@@ -21,7 +21,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use a reduced access budget per core")
 	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	experiment.SetParallelism(*parallel)
 
 	cfg := config.Scaled()
 	cfg.Seed = *seed

@@ -26,7 +26,10 @@ func main() {
 	mode := flag.String("mode", "cache", "cache|flat")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
 	seeds := flag.String("seeds", "1", "comma-separated seeds (rows per seed)")
+	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	experiment.SetParallelism(*parallel)
 
 	cfg := config.Scaled()
 	if *accesses > 0 {
@@ -50,6 +53,19 @@ func main() {
 		}
 	}
 
+	// Validate the design list before any output: an unknown design would
+	// otherwise panic inside the factory halfway through the CSV.
+	var ds []string
+	for _, d := range strings.Split(*designs, ",") {
+		d = strings.TrimSpace(d)
+		if !experiment.IsDesign(d) {
+			fmt.Fprintf(os.Stderr, "unknown design %q (known: %s)\n",
+				d, strings.Join(experiment.Designs(), ", "))
+			os.Exit(2)
+		}
+		ds = append(ds, d)
+	}
+
 	var seedList []uint64
 	for _, s := range strings.Split(*seeds, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
@@ -61,7 +77,6 @@ func main() {
 	}
 
 	out := csv.NewWriter(os.Stdout)
-	defer out.Flush()
 	header := []string{"workload", "design", "mode", "seed", "cycles",
 		"instructions", "ipc", "fastServeRate", "bloatFactor",
 		"fastBytes", "slowBytes", "energyPJ"}
@@ -71,28 +86,38 @@ func main() {
 	}
 	for _, seed := range seedList {
 		cfg.Seed = seed
+		// One seed's whole workload x design grid fans out across the
+		// worker pool; rows come back in the serial order.
+		pairs := make([]experiment.Pair, 0, len(ws)*len(ds))
 		for _, w := range ws {
-			for _, d := range strings.Split(*designs, ",") {
-				d = strings.TrimSpace(d)
-				res := experiment.RunOne(cfg, w, d)
-				row := []string{
-					res.Workload, d, cfg.Mode.String(),
-					strconv.FormatUint(seed, 10),
-					strconv.FormatUint(res.Cycles, 10),
-					strconv.FormatUint(res.Instructions, 10),
-					fmt.Sprintf("%.4f", res.IPC()),
-					fmt.Sprintf("%.4f", res.FastServeRate),
-					fmt.Sprintf("%.4f", res.BloatFactor),
-					strconv.FormatUint(res.FastBytes, 10),
-					strconv.FormatUint(res.SlowBytes, 10),
-					fmt.Sprintf("%.0f", res.EnergyPJ),
-				}
-				if err := out.Write(row); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				out.Flush()
+			for _, d := range ds {
+				pairs = append(pairs, experiment.Pair{Cfg: cfg, Workload: w, Design: d})
 			}
 		}
+		results := experiment.RunPairs(pairs)
+		for i, res := range results {
+			row := []string{
+				res.Workload, pairs[i].Design, cfg.Mode.String(),
+				strconv.FormatUint(seed, 10),
+				strconv.FormatUint(res.Cycles, 10),
+				strconv.FormatUint(res.Instructions, 10),
+				fmt.Sprintf("%.4f", res.IPC()),
+				fmt.Sprintf("%.4f", res.FastServeRate),
+				fmt.Sprintf("%.4f", res.BloatFactor),
+				strconv.FormatUint(res.FastBytes, 10),
+				strconv.FormatUint(res.SlowBytes, 10),
+				fmt.Sprintf("%.0f", res.EnergyPJ),
+			}
+			if err := out.Write(row); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		out.Flush()
+	}
+	out.Flush()
+	if err := out.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

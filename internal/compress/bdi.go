@@ -145,15 +145,18 @@ func (BDI) CompressedSize(data []byte) int {
 }
 
 // Compress encodes data with the best BDI configuration.
-func (BDI) Compress(data []byte) []byte {
+func (b BDI) Compress(data []byte) []byte { return b.AppendCompress(nil, data) }
+
+// AppendCompress appends the best BDI encoding of data to dst and returns
+// the extended slice. Passing a reused buffer (sliced to length 0) makes the
+// encode allocation-free once the buffer has grown to a steady state.
+func (BDI) AppendCompress(dst, data []byte) []byte {
 	if allZero(data) {
-		return []byte{bdiZeros}
+		return append(dst, bdiZeros)
 	}
 	if isRep8(data) {
-		out := make([]byte, 9)
-		out[0] = bdiRep8
-		copy(out[1:], data[:8])
-		return out
+		dst = append(dst, bdiRep8)
+		return append(dst, data[:8]...)
 	}
 	bestSize := 1 + len(data)
 	var bestCfg *bdiConfig
@@ -163,14 +166,13 @@ func (BDI) Compress(data []byte) []byte {
 		}
 	}
 	if bestCfg == nil {
-		out := make([]byte, 1+len(data))
-		out[0] = bdiUncompressed
-		copy(out[1:], data)
-		return out
+		dst = append(dst, bdiUncompressed)
+		return append(dst, data...)
 	}
 	cfg := *bestCfg
 	n := len(data) / cfg.base
-	out := make([]byte, bestSize)
+	full := growZero(dst, bestSize)
+	out := full[len(full)-bestSize:]
 	out[0] = cfg.id
 	maskOff := 1 + cfg.base
 	deltaOff := maskOff + (n+7)/8
@@ -194,26 +196,33 @@ func (BDI) Compress(data []byte) []byte {
 			out[deltaOff+i*cfg.delta+b] = byte(d >> (8 * b))
 		}
 	}
-	return out
+	return full
 }
 
 // Decompress reconstructs origLen bytes from a BDI stream.
-func (BDI) Decompress(comp []byte, origLen int) []byte {
-	out := make([]byte, origLen)
+func (b BDI) Decompress(comp []byte, origLen int) []byte {
+	return b.AppendDecompress(nil, comp, origLen)
+}
+
+// AppendDecompress appends the origLen reconstructed bytes to dst and
+// returns the extended slice.
+func (BDI) AppendDecompress(dst, comp []byte, origLen int) []byte {
+	full := growZero(dst, origLen)
+	out := full[len(full)-origLen:]
 	if len(comp) == 0 {
-		return out
+		return full
 	}
 	switch comp[0] {
 	case bdiZeros:
-		return out
+		return full
 	case bdiRep8:
 		for off := 0; off < origLen; off += 8 {
 			copy(out[off:], comp[1:9])
 		}
-		return out
+		return full
 	case bdiUncompressed:
 		copy(out, comp[1:])
-		return out
+		return full
 	}
 	var cfg bdiConfig
 	for _, c := range bdiConfigs {
@@ -240,5 +249,5 @@ func (BDI) Decompress(comp []byte, origLen int) []byte {
 		}
 		putChunk(out, i*cfg.base, v, cfg.base)
 	}
-	return out
+	return full
 }

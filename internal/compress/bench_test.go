@@ -19,6 +19,7 @@ func BenchmarkFPCCompressedSize(b *testing.B) {
 	var fpc FPC
 	lines := benchLines(0)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fpc.CompressedSize(lines[i%len(lines)])
 	}
@@ -28,8 +29,20 @@ func BenchmarkFPCCompress(b *testing.B) {
 	var fpc FPC
 	lines := benchLines(1)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fpc.Compress(lines[i%len(lines)])
+	}
+}
+
+func BenchmarkFPCAppendCompress(b *testing.B) {
+	var fpc FPC
+	lines := benchLines(1)
+	var buf []byte
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = fpc.AppendCompress(buf[:0], lines[i%len(lines)])
 	}
 }
 
@@ -37,6 +50,7 @@ func BenchmarkBDICompressedSize(b *testing.B) {
 	var bdi BDI
 	lines := benchLines(2)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bdi.CompressedSize(lines[i%len(lines)])
 	}
@@ -46,9 +60,25 @@ func BenchmarkBDIRoundTrip(b *testing.B) {
 	var bdi BDI
 	lines := benchLines(3)
 	b.SetBytes(64)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		line := lines[i%len(lines)]
 		bdi.Decompress(bdi.Compress(line), 64)
+	}
+}
+
+// BenchmarkBDIAppendRoundTrip is the scratch-buffer form of the round trip:
+// steady state runs without any heap allocation.
+func BenchmarkBDIAppendRoundTrip(b *testing.B) {
+	var bdi BDI
+	lines := benchLines(3)
+	var comp, plain []byte
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		line := lines[i%len(lines)]
+		comp = bdi.AppendCompress(comp[:0], line)
+		plain = bdi.AppendDecompress(plain[:0], comp, 64)
 	}
 }
 
@@ -60,6 +90,7 @@ func BenchmarkRangeFitsAligned(b *testing.B) {
 		copy(data[off:], randomLine(rng))
 	}
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.RangeFits(data, 4)
 	}

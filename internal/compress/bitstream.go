@@ -11,7 +11,10 @@
 // materialising the streams.
 package compress
 
-// bitWriter accumulates a big-endian bit stream.
+// bitWriter accumulates a big-endian bit stream. Seeding buf with an
+// existing slice appends the stream after its contents (the byte-boundary
+// start keeps the prefix untouched), which is how the Append* compression
+// APIs reuse caller-provided buffers.
 type bitWriter struct {
 	buf  []byte
 	nbit uint // bits used in the last byte (0..7), 0 means byte boundary
@@ -38,6 +41,25 @@ func (w *bitWriter) writeBits(v uint64, n uint) {
 
 // bytes returns the accumulated stream.
 func (w *bitWriter) bytes() []byte { return w.buf }
+
+// growZero extends dst by n bytes and returns the extended slice with the
+// new region zeroed. The decoders' zero-run and all-zero cases rely on a
+// zeroed output, and reused buffers carry stale bytes, so the extension is
+// cleared explicitly even when capacity is recycled.
+func growZero(dst []byte, n int) []byte {
+	total := len(dst) + n
+	if cap(dst) >= total {
+		out := dst[:total]
+		ext := out[len(dst):]
+		for i := range ext {
+			ext[i] = 0
+		}
+		return out
+	}
+	out := make([]byte, total)
+	copy(out, dst)
+	return out
+}
 
 // bitReader consumes a big-endian bit stream produced by bitWriter.
 type bitReader struct {

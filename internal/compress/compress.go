@@ -29,6 +29,10 @@ type Compressor struct {
 	fpc       FPC
 	bdi       BDI
 	cpack     CPack
+	// scratch backs MaxCF's candidate-range assembly; lazily allocated so
+	// the zero value stays usable. A Compressor is owned by one controller,
+	// so the buffer is never shared across goroutines.
+	scratch []byte
 }
 
 // New returns a compressor; aligned selects cacheline-aligned mode
@@ -89,7 +93,10 @@ func (c *Compressor) RangeFits(data []byte, cf int) bool {
 // sub-block of the candidate range (i in [0,4)); the caller guarantees the
 // range is contiguous and aligned (Rule 2). The result is 4, 2 or 1.
 func (c *Compressor) MaxCF(sub func(i int) []byte) int {
-	buf := make([]byte, 4*SubBlockSize)
+	if c.scratch == nil {
+		c.scratch = make([]byte, 4*SubBlockSize)
+	}
+	buf := c.scratch
 	for _, cf := range SupportedCFs {
 		if cf == 1 {
 			return 1

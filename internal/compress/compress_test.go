@@ -259,3 +259,54 @@ func TestAchievedCF(t *testing.T) {
 		t.Fatalf("zero range achieved CF %.2f, want >= 4", cf)
 	}
 }
+
+// TestAppendAPIsPreservePrefix checks the scratch-buffer contract of the
+// Append* forms: the dst prefix is kept intact, the appended region equals
+// the plain Compress/Decompress output, and recycled capacity with stale
+// bytes does not leak into the result.
+func TestAppendAPIsPreservePrefix(t *testing.T) {
+	rng := sim.NewRNG(77)
+	prefix := []byte{0xAA, 0xBB, 0xCC}
+	stale := make([]byte, 0, 4096)
+	for i := 0; i < cap(stale); i++ {
+		stale = append(stale, 0xFF)
+	}
+	stale = stale[:0]
+
+	type appender interface {
+		Compress(data []byte) []byte
+		Decompress(comp []byte, origLen int) []byte
+		AppendCompress(dst, data []byte) []byte
+		AppendDecompress(dst, comp []byte, origLen int) []byte
+	}
+	algos := []appender{FPC{}, BDI{}, CPack{}}
+	for _, a := range algos {
+		for trial := 0; trial < 200; trial++ {
+			line := randomLine(rng)
+			if trial%5 == 0 {
+				for i := range line {
+					line[i] = 0 // exercise the zero-run/all-zero decoders
+				}
+			}
+			want := a.Compress(line)
+			got := a.AppendCompress(append(stale[:0], prefix...), line)
+			if !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("AppendCompress clobbered the prefix")
+			}
+			if !bytes.Equal(got[len(prefix):], want) {
+				t.Fatalf("AppendCompress stream differs from Compress")
+			}
+			wantPlain := a.Decompress(want, len(line))
+			gotPlain := a.AppendDecompress(append(stale[:0], prefix...), want, len(line))
+			if !bytes.Equal(gotPlain[:len(prefix)], prefix) {
+				t.Fatalf("AppendDecompress clobbered the prefix")
+			}
+			if !bytes.Equal(gotPlain[len(prefix):], wantPlain) {
+				t.Fatalf("AppendDecompress output differs from Decompress")
+			}
+			if !bytes.Equal(wantPlain, line) {
+				t.Fatalf("round trip broken")
+			}
+		}
+	}
+}

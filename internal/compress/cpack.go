@@ -105,9 +105,13 @@ const (
 )
 
 // Compress encodes data into a C-Pack bit stream.
-func (CPack) Compress(data []byte) []byte {
+func (c CPack) Compress(data []byte) []byte { return c.AppendCompress(nil, data) }
+
+// AppendCompress appends the C-Pack encoding of data to dst and returns the
+// extended slice.
+func (CPack) AppendCompress(dst, data []byte) []byte {
 	var d cpackDict
-	w := &bitWriter{}
+	w := &bitWriter{buf: dst}
 	for off := 0; off+4 <= len(data); off += 4 {
 		word := binary.LittleEndian.Uint32(data[off:])
 		switch {
@@ -144,10 +148,17 @@ func (CPack) Compress(data []byte) []byte {
 }
 
 // Decompress reconstructs origLen bytes from a C-Pack stream.
-func (CPack) Decompress(comp []byte, origLen int) []byte {
+func (c CPack) Decompress(comp []byte, origLen int) []byte {
+	return c.AppendDecompress(nil, comp, origLen)
+}
+
+// AppendDecompress appends the origLen reconstructed bytes to dst and
+// returns the extended slice.
+func (CPack) AppendDecompress(dst, comp []byte, origLen int) []byte {
 	var d cpackDict
 	r := &bitReader{buf: comp}
-	out := make([]byte, origLen)
+	full := growZero(dst, origLen)
+	out := full[len(full)-origLen:]
 	for off := 0; off+4 <= origLen; off += 4 {
 		var word uint32
 		switch r.readBits(2) {
@@ -176,5 +187,5 @@ func (CPack) Decompress(comp []byte, origLen int) []byte {
 		}
 		binary.LittleEndian.PutUint32(out[off:], word)
 	}
-	return out
+	return full
 }

@@ -83,8 +83,12 @@ func fpcBitSize(data []byte) int {
 }
 
 // Compress encodes data (len multiple of 4) into an FPC bit stream.
-func (FPC) Compress(data []byte) []byte {
-	w := &bitWriter{}
+func (f FPC) Compress(data []byte) []byte { return f.AppendCompress(nil, data) }
+
+// AppendCompress appends the FPC encoding of data to dst and returns the
+// extended slice.
+func (FPC) AppendCompress(dst, data []byte) []byte {
+	w := &bitWriter{buf: dst}
 	nwords := len(data) / 4
 	for i := 0; i < nwords; {
 		word := binary.LittleEndian.Uint32(data[i*4:])
@@ -124,9 +128,17 @@ func signExtend(v uint64, bits uint) uint32 {
 }
 
 // Decompress reconstructs origLen bytes (multiple of 4) from an FPC stream.
-func (FPC) Decompress(comp []byte, origLen int) []byte {
+func (f FPC) Decompress(comp []byte, origLen int) []byte {
+	return f.AppendDecompress(nil, comp, origLen)
+}
+
+// AppendDecompress appends the origLen reconstructed bytes to dst and
+// returns the extended slice. The zero-run case leaves words unwritten, so
+// the growZero extension's explicit clearing is load-bearing here.
+func (FPC) AppendDecompress(dst, comp []byte, origLen int) []byte {
 	r := &bitReader{buf: comp}
-	out := make([]byte, origLen)
+	full := growZero(dst, origLen)
+	out := full[len(full)-origLen:]
 	nwords := origLen / 4
 	for i := 0; i < nwords; {
 		pattern := int(r.readBits(fpcPrefixLen))
@@ -160,5 +172,5 @@ func (FPC) Decompress(comp []byte, origLen int) []byte {
 			i++
 		}
 	}
-	return out
+	return full
 }

@@ -197,7 +197,18 @@ func (c *Controller) restageOverflowedRange(now uint64, ssi, sw, slot int, b uin
 
 // --- Z-block service ----------------------------------------------------
 
-func zeroLine() []byte { return make([]byte, 64) }
+// zeroLineBuf backs every zero-line result; consumers treat Result.Data as
+// read-only, so one shared buffer serves all controllers.
+var zeroLineBuf [hybrid.CachelineSize]byte
+
+func zeroLine() []byte { return zeroLineBuf[:] }
+
+// copyStoreLine copies the canonical content of one line into the
+// controller's line scratch, valid until the next Access.
+func (c *Controller) copyStoreLine(lineAddr uint64) []byte {
+	copy(c.lineScratch[:], c.store.Bytes(lineAddr, 64))
+	return c.lineScratch[:]
+}
 
 func (c *Controller) caseZeroBlock(now, rmT uint64, b uint64, s, line int, write bool, data []byte) hybrid.Result {
 	if !write {
@@ -276,7 +287,7 @@ func (c *Controller) caseFastSubMiss(now, rmT uint64, b uint64, s, line int, wri
 	} else {
 		done := c.slow.Access(rmT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
-		res = hybrid.Result{Done: done, Data: append([]byte(nil), c.store.Bytes(lineAddr, 64)...)}
+		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 	if !c.cfg.UseStageArea {
 		// Without a stage area there is no frozen-layout rule to respect:
@@ -308,7 +319,7 @@ func (c *Controller) caseStageSubMiss(now, stageT uint64, ssi, sw int, b uint64,
 	} else {
 		done := c.slow.Access(stageT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
-		res = hybrid.Result{Done: done, Data: append([]byte(nil), c.store.Bytes(lineAddr, 64)...)}
+		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 	// Background: stage the maximal compressible range around s (Rule 3
 	// pins it to the same physical block as the block's other ranges).
@@ -332,7 +343,7 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 	} else {
 		done := c.slow.Access(metaT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
-		res = hybrid.Result{Done: done, Data: append([]byte(nil), c.store.Bytes(lineAddr, 64)...)}
+		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 
 	if !c.cfg.UseStageArea {
@@ -430,7 +441,7 @@ func (c *Controller) chunkPrefetch(b uint64, start, cf, lineInRange int, content
 		first = 0
 		count = cf * c.geom.linesPerSub
 	}
-	out := make([]hybrid.PrefetchedLine, 0, count-1)
+	out := c.prefetchScratch[:0]
 	for k := first; k < first+count; k++ {
 		if k == lineInRange {
 			continue
@@ -440,6 +451,7 @@ func (c *Controller) chunkPrefetch(b uint64, start, cf, lineInRange int, content
 			Data: content[k*64 : k*64+64],
 		})
 	}
+	c.prefetchScratch = out
 	return out
 }
 

@@ -114,6 +114,16 @@ type Controller struct {
 
 	// deviceRegion bases (fast device address space).
 	stageBase, tableBase uint64
+
+	// Per-controller scratch reused across Access calls to keep the hot
+	// path allocation-free. lineScratch backs the Data of slow-memory
+	// reads, prefetchScratch backs Result.Prefetched, and trialScratch
+	// holds range content assembled only for fit trials. Results handed
+	// out through these buffers are valid until the next Access, which is
+	// the contract hybrid.Result documents.
+	lineScratch     [hybrid.CachelineSize]byte
+	prefetchScratch []hybrid.PrefetchedLine
+	trialScratch    []byte
 }
 
 // geometry captures the per-variant sizes (Baryon vs Baryon-64B).

@@ -38,6 +38,16 @@ func NewStagePhaseSampler() *StagePhaseSampler {
 // Phases returns how many stage phases have been sampled.
 func (sp *StagePhaseSampler) Phases() int { return sp.phases }
 
+// Merge folds another sampler's observations into sp, letting independent
+// runs sample into private samplers (one per workload, safe to run
+// concurrently) that are combined deterministically afterwards.
+func (sp *StagePhaseSampler) Merge(o *StagePhaseSampler) {
+	for i := range sp.Buckets {
+		sp.Buckets[i].Merge(&o.Buckets[i])
+	}
+	sp.phases += o.phases
+}
+
 // observe folds one finished phase into the deciles. events[i] records
 // whether the i-th access during the phase missed; instrTotal approximates
 // instructions retired across the phase.

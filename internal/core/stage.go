@@ -141,7 +141,7 @@ func (c *Controller) chooseRange(sset *stageSet, super hybrid.SuperBlockID, blkO
 		if hinted {
 			return start, cf
 		}
-		content := c.rangeContent(b, start, cf)
+		content := c.rangeContentScratch(b, start, cf)
 		if c.rangeFits(content, cf) {
 			return start, cf
 		}
@@ -150,9 +150,23 @@ func (c *Controller) chooseRange(sset *stageSet, super hybrid.SuperBlockID, blkO
 }
 
 // rangeContent copies the canonical content of cf sub-blocks starting at
-// subOff of block b.
+// subOff of block b. The returned buffer is freshly allocated and may be
+// kept (range buffers move between frames and must own their storage).
 func (c *Controller) rangeContent(b uint64, subOff, cf int) []byte {
-	out := make([]byte, uint64(cf)*c.geom.subBytes)
+	return c.fillRange(make([]byte, uint64(cf)*c.geom.subBytes), b, subOff, cf)
+}
+
+// rangeContentScratch assembles the same bytes into the controller's trial
+// scratch. Only fit trials may use it — the buffer is recycled on the next
+// trial, so it must never be installed in a frame.
+func (c *Controller) rangeContentScratch(b uint64, subOff, cf int) []byte {
+	if c.trialScratch == nil {
+		c.trialScratch = make([]byte, 4*c.geom.subBytes)
+	}
+	return c.fillRange(c.trialScratch[:uint64(cf)*c.geom.subBytes], b, subOff, cf)
+}
+
+func (c *Controller) fillRange(out []byte, b uint64, subOff, cf int) []byte {
 	for i := 0; i < cf; i++ {
 		copy(out[uint64(i)*c.geom.subBytes:], c.slowSub(b, subOff+i))
 	}

@@ -65,25 +65,38 @@ type world struct {
 	dirty    map[uint64][]byte // lineAddr -> latest value
 }
 
+// worldSizeHint pre-sizes the world maps: runs touch thousands of distinct
+// lines, so starting at a few thousand buckets avoids the incremental map
+// growth (and rehashing) of the first accesses without over-reserving for
+// tiny test configurations.
+const worldSizeHint = 4096
+
 func newWorld(mix datagen.Mix, store *hybrid.Store) *world {
 	return &world{
 		mix:      mix,
 		store:    store,
-		versions: make(map[uint64]uint32),
-		dirty:    make(map[uint64][]byte),
+		versions: make(map[uint64]uint32, worldSizeHint),
+		dirty:    make(map[uint64][]byte, worldSizeHint),
 	}
 }
 
-// writeValue produces the next value of the line at addr.
+// writeValue produces the next value of the line at addr. The returned slice
+// is the world's own buffer for the line and is rewritten in place by the
+// next write to the same line; callers must copy if they need the value to
+// outlive that.
 func (w *world) writeValue(addr uint64) []byte {
 	block := addr / hybrid.BlockSize
 	sub := int(addr % hybrid.BlockSize / hybrid.SubBlockSize)
 	line := int(addr % hybrid.SubBlockSize / hybrid.CachelineSize)
 	key := block<<3 | uint64(sub)
 	w.versions[key]++
-	data := datagen.LineContent(block, sub, line, w.versions[key], w.mix.ClassFor(block))
-	w.dirty[addr] = data
-	return data
+	buf, ok := w.dirty[addr]
+	if !ok {
+		buf = make([]byte, hybrid.CachelineSize)
+		w.dirty[addr] = buf
+	}
+	datagen.FillLine(buf, block, sub, line, w.versions[key], w.mix.ClassFor(block))
+	return buf
 }
 
 // lineData returns the latest functional value of a line (for writebacks).
@@ -92,6 +105,67 @@ func (w *world) lineData(addr uint64) []byte {
 		return d
 	}
 	return w.store.Line(addr)
+}
+
+// coreClock is one ready core in the scheduling heap.
+type coreClock struct {
+	time uint64
+	core int32
+}
+
+// clockHeap is a binary min-heap of core clocks ordered by (time, core).
+// The secondary key reproduces the tie-breaking of the straightforward
+// "scan all cores, keep the strictly earliest" loop it replaces — among
+// equal clocks that scan settles on the lowest core index — so the
+// simulated interleaving (and therefore every statistic) is bit-identical.
+type clockHeap []coreClock
+
+func (h clockHeap) less(i, j int) bool {
+	return h[i].time < h[j].time || (h[i].time == h[j].time && h[i].core < h[j].core)
+}
+
+func (h *clockHeap) push(c coreClock) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// fixMin restores heap order after the root's time was increased in place.
+func (h clockHeap) fixMin() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// popMin removes and returns nothing: the caller reads h[0] directly; this
+// drops the root when its core has retired its access budget.
+func (h *clockHeap) popMin() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	old[n] = coreClock{}
+	(*h).fixMin()
 }
 
 // Runner executes one trace source against one controller.
@@ -151,25 +225,26 @@ func (r *Runner) Run() Result {
 	sink, _ := r.ctrl.(hybrid.InstructionSink)
 	osBytes := r.cfg.OSBlocks() * r.cfg.BlockBytes
 
-	coreTime := make([]uint64, cores)
 	left := make([]int, cores)
 	for c := range left {
 		left[c] = r.cfg.AccessesPerCore
 	}
 	var instructions uint64
-	remaining := cores
+	var cycles uint64
 
-	for remaining > 0 {
-		// Advance the core with the earliest clock (simple 16-way scan).
-		core := -1
-		for c := 0; c < cores; c++ {
-			if left[c] > 0 && (core < 0 || coreTime[c] < coreTime[core]) {
-				core = c
-			}
+	// Ready cores live in a min-heap keyed by (clock, core index), so
+	// advancing the earliest core is O(log cores) instead of an O(cores)
+	// scan per access. All cores start at clock 0; pushing in index order
+	// yields the same initial interleaving as the scan it replaces.
+	ready := make(clockHeap, 0, cores)
+	for c := 0; c < cores; c++ {
+		if left[c] > 0 {
+			ready.push(coreClock{time: 0, core: int32(c)})
 		}
-		if core < 0 {
-			break
-		}
+	}
+
+	for len(ready) > 0 {
+		core := int(ready[0].core)
 		acc := streams[core].Next()
 		addr := acc.Addr % osBytes &^ (hybrid.CachelineSize - 1)
 		gap := uint64(acc.Gap)
@@ -177,24 +252,23 @@ func (r *Runner) Run() Result {
 		if sink != nil {
 			sink.AddInstructions(gap + 1)
 		}
-		now := coreTime[core] + uint64(float64(gap)/nonMemIPC)
+		now := ready[0].time + uint64(float64(gap)/nonMemIPC)
 
 		if acc.Write {
 			r.world.writeValue(addr)
 		}
 		done := r.hier.Access(core, now, addr, acc.Write)
 		stall := (done - now) / uint64(r.cfg.MLPOverlap)
-		coreTime[core] = now + stall + 1
+		finish := now + stall + 1
+		if finish > cycles {
+			cycles = finish
+		}
 		left[core]--
 		if left[core] == 0 {
-			remaining--
-		}
-	}
-
-	var cycles uint64
-	for _, t := range coreTime {
-		if t > cycles {
-			cycles = t
+			ready.popMin()
+		} else {
+			ready[0].time = finish
+			ready.fixMin()
 		}
 	}
 

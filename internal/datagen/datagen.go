@@ -150,11 +150,21 @@ func Filler(mix Mix) func(block uint64, dst *[2048]byte) {
 	}
 }
 
+// FillLine writes the 64-byte line content for a write at the given version
+// into dst (len(dst) must be at least 64), derived from the sub-block
+// content so written data stays consistent with the block's class. It is the
+// allocation-free form of LineContent.
+func FillLine(dst []byte, block uint64, sub, line int, version uint32, base Class) {
+	var buf [256]byte
+	FillSub(buf[:], block, sub, version, base)
+	copy(dst, buf[line*64:(line+1)*64])
+}
+
 // LineContent returns the 64-byte line content for a write at the given
 // version, derived from the sub-block content so written data stays
 // consistent with the block's class.
 func LineContent(block uint64, sub, line int, version uint32, base Class) []byte {
-	var buf [256]byte
-	FillSub(buf[:], block, sub, version, base)
-	return append([]byte(nil), buf[line*64:(line+1)*64]...)
+	out := make([]byte, 64)
+	FillLine(out, block, sub, line, version, base)
+	return out
 }

@@ -29,6 +29,23 @@ const (
 	DesignOSPaging  = "OSPaging"
 )
 
+// Designs lists every design name Factory accepts.
+func Designs() []string {
+	return []string{DesignSimple, DesignUnison, DesignDICE, DesignBaryon,
+		DesignBaryon64B, DesignBaryonFA, DesignHybrid2, DesignOSPaging}
+}
+
+// IsDesign reports whether name is a design Factory accepts, letting tools
+// validate user input up front instead of panicking mid-run.
+func IsDesign(name string) bool {
+	for _, d := range Designs() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Factory returns the controller factory for a design name. The baselines
 // get the full fast-memory capacity (they reserve no stage area); Baryon
 // variants follow cfg.

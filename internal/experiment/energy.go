@@ -34,16 +34,32 @@ func Energy(cfg config.Config) (EnergyResult, *Table) {
 		},
 	}
 	var ru, rd, rh []float64
-	for _, w := range trace.All() {
+	// Five jobs per workload: three cache-mode designs plus two flat-mode
+	// designs, all independent and run through the worker pool.
+	cacheDesigns := []string{DesignUnison, DesignDICE, DesignBaryon}
+	flatDesigns := []string{DesignHybrid2, DesignBaryonFA}
+	fcfg := cfg
+	fcfg.Mode = config.ModeFlat
+	workloads := trace.All()
+	perW := len(cacheDesigns) + len(flatDesigns)
+	pairs := make([]Pair, 0, len(workloads)*perW)
+	for _, w := range workloads {
+		for _, d := range cacheDesigns {
+			pairs = append(pairs, Pair{Cfg: cfg, Workload: w, Design: d})
+		}
+		for _, d := range flatDesigns {
+			pairs = append(pairs, Pair{Cfg: fcfg, Workload: w, Design: d})
+		}
+	}
+	results := RunPairs(pairs)
+	for wi, w := range workloads {
 		cRow := EnergyRow{Workload: w.Name, EnergyPJ: map[string]float64{}}
-		for _, d := range []string{DesignUnison, DesignDICE, DesignBaryon} {
-			cRow.EnergyPJ[d] = RunOne(cfg, w, d).EnergyPJ
+		for di, d := range cacheDesigns {
+			cRow.EnergyPJ[d] = results[wi*perW+di].EnergyPJ
 		}
 		fRow := EnergyRow{Workload: w.Name, EnergyPJ: map[string]float64{}}
-		fcfg := cfg
-		fcfg.Mode = config.ModeFlat
-		for _, d := range []string{DesignHybrid2, DesignBaryonFA} {
-			fRow.EnergyPJ[d] = RunOne(fcfg, w, d).EnergyPJ
+		for di, d := range flatDesigns {
+			fRow.EnergyPJ[d] = results[wi*perW+len(cacheDesigns)+di].EnergyPJ
 		}
 		res.CacheRows = append(res.CacheRows, cRow)
 		res.FlatRows = append(res.FlatRows, fRow)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"baryon/internal/config"
-	"baryon/internal/cpu"
 	"baryon/internal/metadata"
 	"baryon/internal/sim"
 	"baryon/internal/trace"
@@ -77,11 +76,18 @@ func CompressorComparison(cfg config.Config) ([]CPackRow, *Table) {
 		Header: []string{"workload", "speedup", "meanCF", "meanCF+cpack"},
 		Notes:  []string{"the paper: exact algorithm choices are orthogonal to the design"},
 	}
-	for _, w := range trace.Representative() {
-		base := RunOne(cfg, w, DesignBaryon)
-		c2 := cfg
-		c2.UseCPack = true
-		with := RunOne(c2, w, DesignBaryon)
+	c2 := cfg
+	c2.UseCPack = true
+	workloads := trace.Representative()
+	pairs := make([]Pair, 0, 2*len(workloads))
+	for _, w := range workloads {
+		pairs = append(pairs,
+			Pair{Cfg: cfg, Workload: w, Design: DesignBaryon},
+			Pair{Cfg: c2, Workload: w, Design: DesignBaryon})
+	}
+	results := RunPairs(pairs)
+	for wi, w := range workloads {
+		base, with := results[2*wi], results[2*wi+1]
 		row := CPackRow{
 			Workload:        w.Name,
 			Speedup:         float64(base.Cycles) / float64(with.Cycles),
@@ -110,14 +116,21 @@ func RemapCacheSweep(cfg config.Config) ([]RemapCacheRow, *Table) {
 		Title:  "Extra: remap cache sizing (Section III-B: >90% hit rates at 32 kB)",
 		Header: []string{"workload", "sets=32", "sets=64", "sets=128", "sets=256"},
 	}
-	for _, w := range trace.Representative() {
-		cells := []string{w.Name}
-		for _, sets := range []int{32, 64, 128, 256} {
+	setPoints := []int{32, 64, 128, 256}
+	workloads := trace.Representative()
+	pairs := make([]Pair, 0, len(workloads)*len(setPoints))
+	for _, w := range workloads {
+		for _, sets := range setPoints {
 			c := cfg
 			c.RemapCacheSets = sets
-			r := cpu.NewRunner(c, w, Factory(DesignBaryon))
-			r.Run()
-			stats := r.Controller().Stats()
+			pairs = append(pairs, Pair{Cfg: c, Workload: w, Design: DesignBaryon})
+		}
+	}
+	results := RunPairs(pairs)
+	for wi, w := range workloads {
+		cells := []string{w.Name}
+		for si, sets := range setPoints {
+			stats := results[wi*len(setPoints)+si].Stats
 			hr := sim.Ratio(stats.Get("remapCache.hits"),
 				stats.Get("remapCache.hits")+stats.Get("remapCache.misses"))
 			rows = append(rows, RemapCacheRow{Workload: w.Name, Sets: sets, HitRate: hr})
@@ -187,12 +200,14 @@ func OSvsHW(cfg config.Config) ([]OSvsHWRow, *Table) {
 		Header: []string{"workload", "OSPaging", "UnisonCache", "Baryon"},
 		Notes:  []string{"speedups over the OS-paging baseline"},
 	}
-	for _, w := range trace.Representative() {
+	workloads := trace.Representative()
+	grid := RunMatrix(cfg, workloads, designs)
+	for wi, w := range workloads {
 		row := OSvsHWRow{Workload: w.Name, Speedup: map[string]float64{}}
 		var base float64
 		cells := []string{w.Name}
-		for _, d := range designs {
-			res := RunOne(cfg, w, d)
+		for di, d := range designs {
+			res := grid[wi][di]
 			if d == DesignOSPaging {
 				base = float64(res.Cycles)
 			}

@@ -40,10 +40,12 @@ func Fig11(cfg config.Config) ([]Fig11Row, *Table) {
 		repr[w.Name] = true
 	}
 	var reprRows []Fig11Row
-	for _, w := range trace.All() {
+	workloads := trace.All()
+	grid := RunMatrix(cfg, workloads, Fig11Designs)
+	for wi, w := range workloads {
 		row := Fig11Row{Workload: w.Name, ServeRate: map[string]float64{}, Bloat: map[string]float64{}}
-		for _, d := range Fig11Designs {
-			res := RunOne(cfg, w, d)
+		for di, d := range Fig11Designs {
+			res := grid[wi][di]
 			row.ServeRate[d] = res.FastServeRate
 			row.Bloat[d] = res.BloatFactor
 			serveAll[d] = append(serveAll[d], res.FastServeRate)

@@ -50,12 +50,21 @@ func Fig12(cfg config.Config) ([]Fig12Row, *Table) {
 			"5-cycle decompression costs <1%; compressed writeback is worth ~3%",
 		},
 	}
-	for _, w := range trace.Representative() {
-		var baseCycles float64
-		for _, v := range Fig12Variants() {
+	workloads := trace.Representative()
+	variants := Fig12Variants()
+	pairs := make([]Pair, 0, len(workloads)*len(variants))
+	for _, w := range workloads {
+		for _, v := range variants {
 			c := cfg
 			v.Mut(&c)
-			res := RunOne(c, w, DesignBaryon)
+			pairs = append(pairs, Pair{Cfg: c, Workload: w, Design: DesignBaryon})
+		}
+	}
+	results := RunPairs(pairs)
+	for wi, w := range workloads {
+		var baseCycles float64
+		for vi, v := range variants {
+			res := results[wi*len(variants)+vi]
 			if v.Name == "default" {
 				baseCycles = float64(res.Cycles)
 			}

@@ -15,21 +15,30 @@ type Fig13Row struct {
 	Speedup  float64
 }
 
-// sweep runs the representative workloads over configuration points and
+// sweep runs the representative workloads over configuration points — the
+// full (workload, point) grid fans out across the worker pool — and
 // normalises each workload to its named baseline point.
 func sweep(cfg config.Config, points []string, mut func(*config.Config, string), baseline string) ([]Fig13Row, map[string][]string) {
 	var rows []Fig13Row
 	cells := map[string][]string{}
-	for _, w := range trace.Representative() {
-		base := 0.0
-		perPoint := map[string]float64{}
+	workloads := trace.Representative()
+	pairs := make([]Pair, 0, len(workloads)*len(points))
+	for _, w := range workloads {
 		for _, p := range points {
 			c := cfg
 			mut(&c, p)
-			res := RunOne(c, w, DesignBaryon)
-			perPoint[p] = float64(res.Cycles)
+			pairs = append(pairs, Pair{Cfg: c, Workload: w, Design: DesignBaryon})
+		}
+	}
+	results := RunPairs(pairs)
+	for wi, w := range workloads {
+		base := 0.0
+		perPoint := map[string]float64{}
+		for pi, p := range points {
+			cycles := float64(results[wi*len(points)+pi].Cycles)
+			perPoint[p] = cycles
 			if p == baseline {
-				base = float64(res.Cycles)
+				base = cycles
 			}
 		}
 		row := []string{w.Name}

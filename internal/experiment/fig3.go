@@ -26,7 +26,6 @@ func runBaryonForBreakdown(cfg config.Config, w trace.Workload) core.StageBreakd
 // accesses to just-staged (S) versus committed (C) blocks at the default
 // stage size, over the SPEC-like workloads.
 func Fig3a(cfg config.Config) ([]Fig3aRow, *Table) {
-	var rows []Fig3aRow
 	t := &Table{
 		Title:  "Fig 3(a): access breakdown, staged (S) vs committed (C) blocks",
 		Header: []string{"workload", "S.hit", "S.rdMiss", "S.wrOvfl", "C.hit", "C.rdMiss", "C.wrOvfl"},
@@ -34,10 +33,14 @@ func Fig3a(cfg config.Config) ([]Fig3aRow, *Table) {
 			"paper: after commit, read misses fall to <5% and overflows to <1% on average",
 		},
 	}
-	for _, w := range trace.SPEC() {
-		bd := runBaryonForBreakdown(cfg, w)
-		rows = append(rows, Fig3aRow{Workload: w.Name, Breakdown: bd})
-		t.AddRow(w.Name, pct(bd.SHits), pct(bd.SReadMisses), pct(bd.SWriteOverflows),
+	workloads := trace.SPEC()
+	rows := make([]Fig3aRow, len(workloads))
+	forEach(len(workloads), func(i int) {
+		rows[i] = Fig3aRow{Workload: workloads[i].Name, Breakdown: runBaryonForBreakdown(cfg, workloads[i])}
+	})
+	for _, row := range rows {
+		bd := row.Breakdown
+		t.AddRow(row.Workload, pct(bd.SHits), pct(bd.SReadMisses), pct(bd.SWriteOverflows),
 			pct(bd.CHits), pct(bd.CReadMisses), pct(bd.CWriteOverflows))
 	}
 	return rows, t
@@ -60,7 +63,6 @@ func Fig3bSizes(cfg config.Config) []uint64 {
 // Fig3b reproduces Fig. 3(b): the committed-block breakdown across stage
 // area sizes.
 func Fig3b(cfg config.Config) ([]Fig3bRow, *Table) {
-	var rows []Fig3bRow
 	t := &Table{
 		Title:  "Fig 3(b): committed-block breakdown vs stage area size",
 		Header: []string{"workload", "stage", "C.hit", "C.rdMiss", "C.wrOvfl"},
@@ -69,14 +71,18 @@ func Fig3b(cfg config.Config) ([]Fig3bRow, *Table) {
 			"paper: larger stage areas reduce post-commit misses/overflows; 64 MB suffices",
 		},
 	}
-	for _, w := range trace.SPEC()[:4] {
-		for _, sz := range Fig3bSizes(cfg) {
-			c := cfg
-			c.StageBytes = sz
-			bd := runBaryonForBreakdown(c, w)
-			rows = append(rows, Fig3bRow{Workload: w.Name, StageBytes: sz, Breakdown: bd})
-			t.AddRow(w.Name, byteSize(sz), pct(bd.CHits), pct(bd.CReadMisses), pct(bd.CWriteOverflows))
-		}
+	workloads := trace.SPEC()[:4]
+	sizes := Fig3bSizes(cfg)
+	rows := make([]Fig3bRow, len(workloads)*len(sizes))
+	forEach(len(rows), func(i int) {
+		w, sz := workloads[i/len(sizes)], sizes[i%len(sizes)]
+		c := cfg
+		c.StageBytes = sz
+		rows[i] = Fig3bRow{Workload: w.Name, StageBytes: sz, Breakdown: runBaryonForBreakdown(c, w)}
+	})
+	for _, row := range rows {
+		bd := row.Breakdown
+		t.AddRow(row.Workload, byteSize(row.StageBytes), pct(bd.CHits), pct(bd.CReadMisses), pct(bd.CWriteOverflows))
 	}
 	return rows, t
 }

@@ -21,14 +21,23 @@ type Fig4Result struct {
 // an order-of-magnitude MPKI drop by the mid-phase that stays low — is the
 // justification for the stage area and the selective commit policy.
 func Fig4(cfg config.Config) (Fig4Result, *Table) {
-	sampler := core.NewStagePhaseSampler()
-	agg := Fig4Result{}
-	for _, w := range trace.SPEC()[:4] {
-		r := cpu.NewRunner(cfg, w, Factory(DesignBaryon))
+	// Each workload samples into a private sampler so the runs can execute
+	// concurrently; the samplers are merged in workload order afterwards
+	// (percentiles sort, so the merged boxes are order-independent anyway).
+	workloads := trace.SPEC()[:4]
+	samplers := make([]*core.StagePhaseSampler, len(workloads))
+	forEach(len(workloads), func(i int) {
+		samplers[i] = core.NewStagePhaseSampler()
+		r := cpu.NewRunner(cfg, workloads[i], Factory(DesignBaryon))
 		ctrl := r.Controller().(*core.Controller)
-		ctrl.SetInstrumentation(core.Instrumentation{StagePhase: sampler})
+		ctrl.SetInstrumentation(core.Instrumentation{StagePhase: samplers[i]})
 		r.Run()
+	})
+	sampler := samplers[0]
+	for _, o := range samplers[1:] {
+		sampler.Merge(o)
 	}
+	agg := Fig4Result{}
 	t := &Table{
 		Title:  "Fig 4: stage-phase MPKI distribution vs normalised phase time",
 		Header: []string{"x", "p5", "p25", "p50", "p75", "p95"},

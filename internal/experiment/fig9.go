@@ -25,15 +25,17 @@ type PerfMatrix struct {
 	GeoMean map[string]float64
 }
 
-// runMatrix executes every (workload, design) pair, normalising to baseline.
+// runMatrix executes every (workload, design) pair — fanned out across the
+// worker pool — and normalises each row to its baseline design.
 func runMatrix(cfg config.Config, workloads []trace.Workload, designs []string, baseline string) PerfMatrix {
 	m := PerfMatrix{Designs: designs, Baseline: baseline, GeoMean: map[string]float64{}}
 	per := map[string][]float64{}
-	for _, w := range workloads {
+	grid := RunMatrix(cfg, workloads, designs)
+	for wi, w := range workloads {
 		row := PerfRow{Workload: w.Name, Speedup: map[string]float64{}, Results: map[string]cpu.Result{}}
 		var base float64
-		for _, d := range designs {
-			res := RunOne(cfg, w, d)
+		for di, d := range designs {
+			res := grid[wi][di]
 			row.Results[d] = res
 			if d == baseline {
 				base = float64(res.Cycles)

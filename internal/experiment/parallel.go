@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"baryon/internal/config"
+	"baryon/internal/cpu"
+	"baryon/internal/trace"
+)
+
+// The harnesses in this package regenerate the paper's evaluation from large
+// cartesian products of fully independent (config, workload, design)
+// simulations. This file is the execution engine they all share: a worker
+// pool that fans the runs out across cores while keeping the output
+// deterministic — every result is slotted by its input index, so tables and
+// figures are byte-identical to a serial run regardless of completion order.
+
+// parallelism holds the configured worker count; 0 means "one worker per
+// available CPU" (runtime.GOMAXPROCS).
+var parallelism atomic.Int32
+
+// SetParallelism sets the worker count used by RunPairs/RunMatrix and every
+// harness built on them. n <= 0 restores the default (one worker per CPU);
+// n == 1 forces fully serial execution.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if v := parallelism.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach invokes fn(i) for every i in [0, n) using the configured worker
+// count. fn must write its outputs to slots indexed by i only; under that
+// contract the observable result is identical to the serial loop. With one
+// worker (or one job) it degenerates to the plain loop, with zero goroutine
+// overhead.
+func forEach(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Pair is one independent simulation job: a full configuration (so sweeps
+// can mutate per-job copies), a workload and a design name.
+type Pair struct {
+	Cfg      config.Config
+	Workload trace.Workload
+	Design   string
+}
+
+// RunPairs executes every job concurrently and returns the results in input
+// order. Each job builds its own runner, store, controller and statistics,
+// so jobs share no mutable state; the output is bit-identical to calling
+// RunOne in a loop.
+func RunPairs(pairs []Pair) []cpu.Result {
+	out := make([]cpu.Result, len(pairs))
+	forEach(len(pairs), func(i int) {
+		out[i] = RunOne(pairs[i].Cfg, pairs[i].Workload, pairs[i].Design)
+	})
+	return out
+}
+
+// RunMatrix runs the full workloads x designs grid under cfg and returns
+// results indexed as [workload][design], matching the input slices.
+func RunMatrix(cfg config.Config, workloads []trace.Workload, designs []string) [][]cpu.Result {
+	pairs := make([]Pair, 0, len(workloads)*len(designs))
+	for _, w := range workloads {
+		for _, d := range designs {
+			pairs = append(pairs, Pair{Cfg: cfg, Workload: w, Design: d})
+		}
+	}
+	flat := RunPairs(pairs)
+	out := make([][]cpu.Result, len(workloads))
+	for wi := range workloads {
+		out[wi] = flat[wi*len(designs) : (wi+1)*len(designs)]
+	}
+	return out
+}

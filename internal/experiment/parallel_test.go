@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"baryon/internal/config"
+	"baryon/internal/trace"
+)
+
+// parallelConfig is smaller than quickConfig: the determinism tests run the
+// same grid twice (serial and parallel) and under -race.
+func parallelConfig() config.Config {
+	cfg := quickConfig()
+	cfg.AccessesPerCore = 800
+	return cfg
+}
+
+func TestParallelismClamp(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(-3)
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism()=%d after negative set", Parallelism())
+	}
+	SetParallelism(7)
+	if Parallelism() != 7 {
+		t.Fatalf("Parallelism()=%d, want 7", Parallelism())
+	}
+}
+
+// TestRunPairsDeterministic asserts the tentpole guarantee: the parallel
+// engine produces byte-for-byte the results of serial execution, slotted in
+// submission order regardless of completion order.
+func TestRunPairsDeterministic(t *testing.T) {
+	defer SetParallelism(0)
+	cfg := parallelConfig()
+	workloads := trace.Representative()
+	designs := []string{DesignUnison, DesignDICE, DesignBaryon}
+	var pairs []Pair
+	for _, w := range workloads {
+		for _, d := range designs {
+			pairs = append(pairs, Pair{Cfg: cfg, Workload: w, Design: d})
+		}
+	}
+
+	SetParallelism(1)
+	serial := RunPairs(pairs)
+	SetParallelism(4)
+	parallel := RunPairs(pairs)
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count: serial=%d parallel=%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Workload != p.Workload || s.Design != p.Design {
+			t.Fatalf("pair %d: slot order differs: serial=%s/%s parallel=%s/%s",
+				i, s.Workload, s.Design, p.Workload, p.Design)
+		}
+		if s.Cycles != p.Cycles || s.Instructions != p.Instructions ||
+			s.FastServeRate != p.FastServeRate || s.BloatFactor != p.BloatFactor ||
+			s.EnergyPJ != p.EnergyPJ {
+			t.Errorf("pair %d (%s/%s): serial and parallel results differ:\nserial:   %+v\nparallel: %+v",
+				i, s.Workload, s.Design, s, p)
+		}
+		if s.Stats.String() != p.Stats.String() {
+			t.Errorf("pair %d (%s/%s): stats differ", i, s.Workload, s.Design)
+		}
+	}
+}
+
+// TestFig9TableDeterministic renders a full figure twice — serially and with
+// four workers — and requires the rendered tables to match exactly.
+func TestFig9TableDeterministic(t *testing.T) {
+	defer SetParallelism(0)
+	cfg := parallelConfig()
+
+	render := func() string {
+		_, tab := Fig9(cfg)
+		var sb strings.Builder
+		tab.Render(&sb)
+		return sb.String()
+	}
+	SetParallelism(1)
+	serial := render()
+	SetParallelism(4)
+	parallel := render()
+	if serial != parallel {
+		t.Fatalf("Fig9 table differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

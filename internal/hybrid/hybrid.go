@@ -92,7 +92,9 @@ type PrefetchedLine struct {
 type Controller interface {
 	// Access performs a 64 B read or write at physical address addr (already
 	// line-aligned) starting at cycle now. For writes, data is the new line
-	// content. For reads, Result.Data is the line content.
+	// content. For reads, Result.Data is the line content. Result.Data and
+	// Result.Prefetched are read-only and may alias controller-owned scratch:
+	// consume (or copy) them before the next Access on the same controller.
 	Access(now uint64, addr uint64, write bool, data []byte) Result
 	// Stats exposes the controller's counters.
 	Stats() *sim.Stats

@@ -101,6 +101,16 @@ func (s *Sample) Observe(x float64) {
 	s.sorted = false
 }
 
+// Merge folds every observation of o into s. Percentile summaries sort the
+// observations, so the merged summaries do not depend on merge order.
+func (s *Sample) Merge(o *Sample) {
+	if o.N() == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 

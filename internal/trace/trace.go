@@ -92,6 +92,7 @@ type Stream struct {
 	blocks   uint64   // region size in blocks
 	seqPtr   uint64   // streaming position (line granularity)
 	pending  []uint64 // remaining addresses of the current block visit
+	pendHead int      // consumed prefix of pending (popped by index, not reslice)
 	burstWr  bool
 	scanMode bool // PatternGraph: alternates scan and random phases
 	scanLeft int
@@ -234,12 +235,16 @@ func (s *Stream) visitBlock(block uint64, n int) uint64 {
 // decides the access budget.
 func (s *Stream) Next() Access {
 	gap := s.w.GapMean/2 + uint32(s.rng.Intn(int(s.w.GapMean)+1))
-	if len(s.pending) > 0 {
-		addr := s.pending[0]
-		s.pending = s.pending[1:]
+	if s.pendHead < len(s.pending) {
+		addr := s.pending[s.pendHead]
+		s.pendHead++
 		write := s.burstWr && s.rng.Bool(0.7)
 		return Access{Addr: addr, Write: write, Gap: gap}
 	}
+	// Queue drained: recycle its capacity for this visit's appends instead
+	// of letting the popped prefix strand it.
+	s.pending = s.pending[:0]
+	s.pendHead = 0
 
 	var addr uint64
 	write := s.rng.Bool(s.w.WriteRatio)
