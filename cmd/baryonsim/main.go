@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
@@ -26,6 +28,10 @@ func main() {
 	design := flag.String("design", "Baryon", "Simple|UnisonCache|DICE|Baryon|Baryon-64B|Baryon-FA|Hybrid2")
 	mode := flag.String("mode", "cache", "cache|flat")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
+	warmup := flag.Int("warmup", 0, "warmup accesses per core before measurement (0 = cold start)")
+	epoch := flag.Int("epoch", 0, "collect an epoch snapshot every N accesses (0 = off)")
+	epochCSV := flag.String("epoch-csv", "", "write the epoch time-series as CSV to this file (- for stdout)")
+	epochJSONL := flag.String("epoch-jsonl", "", "write the epoch time-series as JSONL to this file (- for stdout)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	verbose := flag.Bool("v", false, "dump every raw counter")
 	list := flag.Bool("list", false, "list workloads and exit")
@@ -37,6 +43,26 @@ func main() {
 				w.Name, w.FootprintFactor, w.WriteRatio, w.BlockUtil)
 		}
 		return
+	}
+
+	// Validate choice flags up front so a typo fails with a usage message
+	// instead of a zero-value run or a late panic.
+	if !experiment.IsDesign(*design) {
+		fmt.Fprintf(os.Stderr, "unknown design %q; valid designs: %s\n",
+			*design, strings.Join(experiment.Designs(), ", "))
+		os.Exit(2)
+	}
+	if *mode != "cache" && *mode != "flat" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q; valid modes: cache, flat\n", *mode)
+		os.Exit(2)
+	}
+	if *warmup < 0 || *epoch < 0 {
+		fmt.Fprintln(os.Stderr, "-warmup and -epoch must be >= 0")
+		os.Exit(2)
+	}
+	if (*epochCSV != "" || *epochJSONL != "") && *epoch == 0 {
+		fmt.Fprintln(os.Stderr, "-epoch-csv/-epoch-jsonl require -epoch > 0")
+		os.Exit(2)
 	}
 
 	var w trace.Workload
@@ -60,6 +86,8 @@ func main() {
 	if *accesses > 0 {
 		cfg.AccessesPerCore = *accesses
 	}
+	cfg.WarmupAccessesPerCore = *warmup
+	cfg.EpochAccesses = *epoch
 	if *mode == "flat" {
 		cfg.Mode = config.ModeFlat
 	}
@@ -77,6 +105,8 @@ func main() {
 	} else {
 		res = experiment.RunOne(cfg, w, *design)
 	}
+	writeEpochs(res, *epochCSV, experiment.WriteEpochCSV)
+	writeEpochs(res, *epochJSONL, experiment.WriteEpochJSONL)
 	if *jsonOut {
 		out := map[string]any{
 			"workload":      res.Workload,
@@ -90,6 +120,13 @@ func main() {
 			"fastBytes":     res.FastBytes,
 			"slowBytes":     res.SlowBytes,
 			"energyPJ":      res.EnergyPJ,
+		}
+		if cfg.WarmupAccessesPerCore > 0 {
+			out["warmup"] = res.Warmup
+			out["measured"] = res.Measured
+		}
+		if len(res.Epochs) > 0 {
+			out["epochs"] = res.Epochs
 		}
 		if *verbose {
 			counters := map[string]uint64{}
@@ -115,8 +152,37 @@ func main() {
 	fmt.Printf("fast traffic:    %.1f MB\n", float64(res.FastBytes)/(1<<20))
 	fmt.Printf("slow traffic:    %.1f MB\n", float64(res.SlowBytes)/(1<<20))
 	fmt.Printf("memory energy:   %.2f mJ\n", res.EnergyPJ/1e9)
+	if cfg.WarmupAccessesPerCore > 0 {
+		fmt.Printf("warmup window:   %d accesses, IPC %.3f, fast serve %.1f%%\n",
+			res.Warmup.Accesses, res.Warmup.IPC(), 100*res.Warmup.FastServeRate)
+	}
+	if len(res.Epochs) > 0 {
+		fmt.Printf("epochs:          %d (every %d accesses)\n", len(res.Epochs), cfg.EpochAccesses)
+	}
 	if *verbose {
 		fmt.Println("\ncounters:")
 		fmt.Print(res.Stats.String())
+	}
+}
+
+// writeEpochs serialises the epoch series to path ("-" = stdout) with the
+// given writer; a no-op when path is empty.
+func writeEpochs(res cpu.Result, path string, write func(io.Writer, cpu.Result) error) {
+	if path == "" {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, res); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

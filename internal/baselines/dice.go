@@ -54,12 +54,13 @@ func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompress
 		decompressLatency: decompressLatency,
 	}
 	d.slots = make([]diceSlot, fastBytes/hybrid.CachelineSize)
-	d.accesses = stats.Counter("dice.accesses")
-	d.hits = stats.Counter("dice.hits")
-	d.misses = stats.Counter("dice.misses")
-	d.writebacks = stats.Counter("dice.writebacks")
-	d.servedFast = stats.Counter("dice.servedFast")
-	d.decompressions = stats.Counter("dice.decompressions")
+	cstats := stats.Scope("dice")
+	d.accesses = cstats.Counter("accesses")
+	d.hits = cstats.Counter("hits")
+	d.misses = cstats.Counter("misses")
+	d.writebacks = cstats.Counter("writebacks")
+	d.servedFast = cstats.Counter("servedFast")
+	d.decompressions = cstats.Counter("decompressions")
 	return d
 }
 

@@ -64,10 +64,11 @@ func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPag
 		epochLen:   osEpochLen,
 		migPenalty: osMigPenalty,
 	}
-	o.hits = stats.Counter("ospaging.hits")
-	o.misses = stats.Counter("ospaging.misses")
-	o.migrations = stats.Counter("ospaging.migrations")
-	o.writebacks = stats.Counter("ospaging.writebacks")
+	cstats := stats.Scope("ospaging")
+	o.hits = cstats.Counter("hits")
+	o.misses = cstats.Counter("misses")
+	o.migrations = cstats.Counter("migrations")
+	o.writebacks = cstats.Counter("writebacks")
 	return o
 }
 

@@ -63,11 +63,12 @@ func NewSimple(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	for i := range s.sets {
 		s.sets[i] = simpleSet{ways: make([]simpleWay, assoc)}
 	}
-	s.accesses = stats.Counter("simple.accesses")
-	s.hits = stats.Counter("simple.hits")
-	s.misses = stats.Counter("simple.misses")
-	s.writebacks = stats.Counter("simple.writebacks")
-	s.servedFast = stats.Counter("simple.servedFast")
+	cstats := stats.Scope("simple")
+	s.accesses = cstats.Counter("accesses")
+	s.hits = cstats.Counter("hits")
+	s.misses = cstats.Counter("misses")
+	s.writebacks = cstats.Counter("writebacks")
+	s.servedFast = cstats.Counter("servedFast")
 	return s
 }
 

@@ -79,14 +79,15 @@ func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	for i := range u.sets {
 		u.sets[i] = unisonSet{ways: make([]unisonWay, assoc)}
 	}
-	u.accesses = stats.Counter("unison.accesses")
-	u.blockHits = stats.Counter("unison.blockHits")
-	u.subHits = stats.Counter("unison.subHits")
-	u.subMisses = stats.Counter("unison.subMisses")
-	u.blockMisses = stats.Counter("unison.blockMisses")
-	u.wayMispredicts = stats.Counter("unison.wayMispredicts")
-	u.writebacks = stats.Counter("unison.writebacks")
-	u.servedFast = stats.Counter("unison.servedFast")
+	cstats := stats.Scope("unison")
+	u.accesses = cstats.Counter("accesses")
+	u.blockHits = cstats.Counter("blockHits")
+	u.subHits = cstats.Counter("subHits")
+	u.subMisses = cstats.Counter("subMisses")
+	u.blockMisses = cstats.Counter("blockMisses")
+	u.wayMispredicts = cstats.Counter("wayMispredicts")
+	u.writebacks = cstats.Counter("writebacks")
+	u.servedFast = cstats.Counter("servedFast")
 	return u
 }
 

@@ -35,17 +35,26 @@ type Cache struct {
 	hits, misses *sim.Counter
 }
 
-// New builds a cache and registers hit/miss counters in stats.
+// New builds a cache and registers hit/miss counters in stats under the
+// level's name scope. A config with an empty Name registers bare
+// "hits"/"misses", for callers that hand in an already-scoped view.
 func New(cfg Config, stats *sim.Stats) *Cache {
 	c := &Cache{cfg: cfg}
 	c.sets = make([][]entry, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]entry, cfg.Ways)
 	}
-	c.hits = stats.Counter(cfg.Name + ".hits")
-	c.misses = stats.Counter(cfg.Name + ".misses")
+	s := stats.Scope(cfg.Name)
+	c.hits = s.Counter("hits")
+	c.misses = s.Counter("misses")
 	return c
 }
+
+// Hits returns the typed handle of the level's hit counter.
+func (c *Cache) Hits() *sim.Counter { return c.hits }
+
+// Misses returns the typed handle of the level's miss counter.
+func (c *Cache) Misses() *sim.Counter { return c.misses }
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }

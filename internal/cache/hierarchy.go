@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"baryon/internal/hybrid"
 	"baryon/internal/sim"
 )
@@ -51,24 +53,60 @@ type Hierarchy struct {
 	demandLines, servedFast, servedSlow        *sim.Counter
 }
 
-// NewHierarchy builds the cache stack in front of ctrl.
+// NewHierarchy builds the cache stack in front of ctrl. Every level —
+// including each core's private L1/L2 — registers its counters on the run
+// registry behind stats: the per-core levels live under "l1.coreK." and
+// "l2.coreK." scopes, so their hit/miss counts survive the run and
+// participate in snapshots instead of vanishing into private collections.
 func NewHierarchy(cfg HierarchyConfig, ctrl hybrid.Controller, stats *sim.Stats) *Hierarchy {
 	h := &Hierarchy{cfg: cfg, ctrl: ctrl}
 	h.l1 = make([]*Cache, cfg.Cores)
 	h.l2 = make([]*Cache, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
-		h.l1[i] = New(Config{Name: cfg.L1.Name, Sets: cfg.L1.Sets, Ways: cfg.L1.Ways, Latency: cfg.L1.Latency}, sim.NewStats())
-		h.l2[i] = New(Config{Name: cfg.L2.Name, Sets: cfg.L2.Sets, Ways: cfg.L2.Ways, Latency: cfg.L2.Latency}, sim.NewStats())
+		l1cfg, l2cfg := cfg.L1, cfg.L2
+		l1cfg.Name, l2cfg.Name = "", ""
+		h.l1[i] = New(l1cfg, stats.Scope(fmt.Sprintf("l1.core%d", i)))
+		h.l2[i] = New(l2cfg, stats.Scope(fmt.Sprintf("l2.core%d", i)))
 	}
 	h.llc = New(cfg.LLC, stats)
-	h.llcMisses = stats.Counter("hierarchy.llcMisses")
-	h.llcWritebacks = stats.Counter("hierarchy.llcWritebacks")
-	h.prefetchInstalls = stats.Counter("hierarchy.prefetchInstalls")
-	h.demandLines = stats.Counter("hierarchy.demandLines")
-	h.servedFast = stats.Counter("hierarchy.servedFast")
-	h.servedSlow = stats.Counter("hierarchy.servedSlow")
+	s := stats.Scope("hierarchy")
+	h.llcMisses = s.Counter("llcMisses")
+	h.llcWritebacks = s.Counter("llcWritebacks")
+	h.prefetchInstalls = s.Counter("prefetchInstalls")
+	h.demandLines = s.Counter("demandLines")
+	h.servedFast = s.Counter("servedFast")
+	h.servedSlow = s.Counter("servedSlow")
 	return h
 }
+
+// Counters exposes the hierarchy's typed counter handles so the run loop
+// reads its own metrics (and window deltas) without string-keyed lookups.
+type Counters struct {
+	LLCMisses, LLCWritebacks      *sim.Counter
+	PrefetchInstalls, DemandLines *sim.Counter
+	ServedFast, ServedSlow        *sim.Counter
+}
+
+// Counters returns the hierarchy's typed counter handles.
+func (h *Hierarchy) Counters() Counters {
+	return Counters{
+		LLCMisses: h.llcMisses, LLCWritebacks: h.llcWritebacks,
+		PrefetchInstalls: h.prefetchInstalls, DemandLines: h.demandLines,
+		ServedFast: h.servedFast, ServedSlow: h.servedSlow,
+	}
+}
+
+// Level returns the per-core L1 or L2 cache (level 1 or 2) for tests and
+// instrumentation.
+func (h *Hierarchy) Level(level, core int) *Cache {
+	if level == 1 {
+		return h.l1[core]
+	}
+	return h.l2[core]
+}
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
 
 // Controller returns the memory controller behind the hierarchy.
 func (h *Hierarchy) Controller() hybrid.Controller { return h.ctrl }

@@ -88,7 +88,19 @@ type Config struct {
 
 	// Run shape.
 	AccessesPerCore int
-	Seed            uint64
+	// WarmupAccessesPerCore, when > 0, replays that many accesses per core
+	// before measurement starts (the zsim-style warmup-then-measure
+	// methodology): caches, stage area and devices reach steady state, the
+	// run registry is snapshotted, and the Result's headline metrics are
+	// measurement-window deltas. 0 keeps the historical cold-start
+	// behaviour bit-for-bit.
+	WarmupAccessesPerCore int
+	// EpochAccesses, when > 0, snapshots the run registry every that many
+	// accesses (total across cores) during the measurement window,
+	// producing the per-epoch IPC/serve-rate/bloat time-series in
+	// Result.Epochs. 0 disables epoch collection.
+	EpochAccesses int
+	Seed          uint64
 }
 
 // Scaled returns the default configuration for timing runs: Table I scaled

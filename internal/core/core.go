@@ -199,7 +199,7 @@ func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
 	}
 	c.cf2Hint = make([]uint8, g.osBlocks)
 	c.cf4Hint = make([]uint8, g.osBlocks)
-	c.rcache = metadata.NewRemapCache(cfg.RemapCacheSets, cfg.RemapCacheWays, stats)
+	c.rcache = metadata.NewRemapCache(cfg.RemapCacheSets, cfg.RemapCacheWays, stats.Scope("remapCache"))
 
 	c.stageBase = g.fastBlocks * g.blockBytes
 	c.tableBase = c.stageBase + cfg.StageBlocks()*g.blockBytes
@@ -212,34 +212,34 @@ func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
 }
 
 func (c *Controller) initCounters() {
-	s := c.stats
+	s := c.stats.Scope("baryon")
 	c.ctr = counters{
-		accesses:             s.Counter("baryon.accesses"),
-		reads:                s.Counter("baryon.reads"),
-		writes:               s.Counter("baryon.writes"),
-		servedFast:           s.Counter("baryon.servedFast"),
-		servedSlow:           s.Counter("baryon.servedSlow"),
-		servedZero:           s.Counter("baryon.servedZero"),
-		stageHits:            s.Counter("baryon.stage.hits"),
-		stageSubMiss:         s.Counter("baryon.stage.subMisses"),
-		blockMiss:            s.Counter("baryon.blockMisses"),
-		stageWriteOverflow:   s.Counter("baryon.stage.writeOverflows"),
-		fastOverflow:         s.Counter("baryon.fast.writeOverflows"),
-		fastHits:             s.Counter("baryon.fast.hits"),
-		fastSubMiss:          s.Counter("baryon.fast.subMisses"),
-		commits:              s.Counter("baryon.commits"),
-		evictsToSlow:         s.Counter("baryon.evictsToSlow"),
-		commitAborts:         s.Counter("baryon.commitAborts"),
-		subReplacements:      s.Counter("baryon.subReplacements"),
-		blockReplacements:    s.Counter("baryon.blockReplacements"),
-		decompressions:       s.Counter("baryon.decompressions"),
-		rangeFetches:         s.Counter("baryon.rangeFetches"),
-		rangeCFSum:           s.Counter("baryon.rangeCFSum"),
-		swapSpread:           s.Counter("baryon.swap.spread"),
-		swapThreeWay:         s.Counter("baryon.swap.threeWay"),
-		resortRewrites:       s.Counter("baryon.resortRewrites"),
-		compressedWritebacks: s.Counter("baryon.compressedWritebacks"),
-		multiFrameSupers:     s.Counter("baryon.multiFrameSupers"),
+		accesses:             s.Counter("accesses"),
+		reads:                s.Counter("reads"),
+		writes:               s.Counter("writes"),
+		servedFast:           s.Counter("servedFast"),
+		servedSlow:           s.Counter("servedSlow"),
+		servedZero:           s.Counter("servedZero"),
+		stageHits:            s.Counter("stage.hits"),
+		stageSubMiss:         s.Counter("stage.subMisses"),
+		blockMiss:            s.Counter("blockMisses"),
+		stageWriteOverflow:   s.Counter("stage.writeOverflows"),
+		fastOverflow:         s.Counter("fast.writeOverflows"),
+		fastHits:             s.Counter("fast.hits"),
+		fastSubMiss:          s.Counter("fast.subMisses"),
+		commits:              s.Counter("commits"),
+		evictsToSlow:         s.Counter("evictsToSlow"),
+		commitAborts:         s.Counter("commitAborts"),
+		subReplacements:      s.Counter("subReplacements"),
+		blockReplacements:    s.Counter("blockReplacements"),
+		decompressions:       s.Counter("decompressions"),
+		rangeFetches:         s.Counter("rangeFetches"),
+		rangeCFSum:           s.Counter("rangeCFSum"),
+		swapSpread:           s.Counter("swap.spread"),
+		swapThreeWay:         s.Counter("swap.threeWay"),
+		resortRewrites:       s.Counter("resortRewrites"),
+		compressedWritebacks: s.Counter("compressedWritebacks"),
+		multiFrameSupers:     s.Counter("multiFrameSupers"),
 	}
 }
 
@@ -329,6 +329,17 @@ func (c *Controller) Name() string {
 
 // Stats returns the controller's counters.
 func (c *Controller) Stats() *sim.Stats { return c.stats }
+
+// MeanRangeCF returns the average quantised compression factor of staged
+// ranges (the Fig. 12 metric), read through the controller's typed counter
+// handles.
+func (c *Controller) MeanRangeCF() float64 {
+	return sim.Ratio(c.ctr.rangeCFSum.Value(), c.ctr.rangeFetches.Value())
+}
+
+// RemapCacheHitRate returns the remap cache's hit rate (Section III-B
+// sizing claim).
+func (c *Controller) RemapCacheHitRate() float64 { return c.rcache.HitRate() }
 
 // FastDevice and SlowDevice expose the devices for traffic/energy reports.
 func (c *Controller) FastDevice() *mem.Device { return c.fast }

@@ -1,0 +1,82 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveSched is the reference scheduler the heap replaced: scan every active
+// core and keep the strictly earliest, which among equal clocks settles on
+// the lowest core index.
+type naiveSched struct {
+	time   []uint64
+	active []bool
+	n      int
+}
+
+func (s *naiveSched) min() int {
+	best := -1
+	for c := 0; c < len(s.time); c++ {
+		if !s.active[c] {
+			continue
+		}
+		if best < 0 || s.time[c] < s.time[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// TestClockHeapMatchesNaiveScan drives the heap and the naive scan through
+// the same randomised schedule and requires them to pick the same core at
+// every step — i.e. the heap is access-for-access identical to the loop it
+// replaced, including (time, core) tie-breaking.
+func TestClockHeapMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		cores := 1 + rng.Intn(12)
+
+		var h clockHeap
+		naive := naiveSched{
+			time:   make([]uint64, cores),
+			active: make([]bool, cores),
+			n:      cores,
+		}
+		left := make([]int, cores)
+		for c := 0; c < cores; c++ {
+			start := uint64(rng.Intn(4)) // duplicate clocks exercise ties
+			left[c] = 1 + rng.Intn(40)
+			h.push(coreClock{time: start, core: int32(c)})
+			naive.time[c] = start
+			naive.active[c] = true
+		}
+
+		for step := 0; len(h) > 0; step++ {
+			want := naive.min()
+			got := int(h[0].core)
+			if got != want {
+				t.Fatalf("trial %d step %d: heap chose core %d, scan chose %d",
+					trial, step, got, want)
+			}
+			if h[0].time != naive.time[want] {
+				t.Fatalf("trial %d step %d: heap time %d, scan time %d",
+					trial, step, h[0].time, naive.time[want])
+			}
+			// Advance by a small random stall; 0 keeps the clock equal to
+			// other cores so tie-breaking stays under test.
+			finish := h[0].time + uint64(rng.Intn(3))
+			left[got]--
+			if left[got] == 0 {
+				h.popMin()
+				naive.active[want] = false
+			} else {
+				h[0].time = finish
+				h.fixMin()
+				naive.time[want] = finish
+			}
+		}
+		if got := naive.min(); got != -1 {
+			t.Fatalf("trial %d: heap empty but scan still has core %d", trial, got)
+		}
+	}
+}

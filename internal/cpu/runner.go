@@ -27,7 +27,52 @@ type DeviceProvider interface {
 	SlowDevice() *mem.Device
 }
 
-// Result summarises one run.
+// Window summarises one interval of a run — the warmup phase, the
+// measurement phase, or one epoch of the measurement phase. All values are
+// deltas over the interval, computed from registry snapshots.
+type Window struct {
+	// Accesses is the number of demand accesses issued in the window.
+	Accesses uint64 `json:"accesses"`
+	// Instructions/Cycles are the retired-instruction and elapsed-cycle
+	// deltas (cycles advance on the max-finish watermark across cores).
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// FastServeRate is the fraction of the window's LLC misses served by
+	// fast memory.
+	FastServeRate float64 `json:"fastServeRate"`
+	// BloatFactor is the window's fast-memory traffic divided by its
+	// useful LLC fill traffic.
+	BloatFactor float64 `json:"bloatFactor"`
+	// FastBytes/SlowBytes are the window's device traffic.
+	FastBytes uint64 `json:"fastBytes"`
+	SlowBytes uint64 `json:"slowBytes"`
+	// EnergyPJ is the window's memory-system access energy.
+	EnergyPJ float64 `json:"energyPJ"`
+}
+
+// IPC returns the window's retired instructions per cycle.
+func (w Window) IPC() float64 {
+	if w.Cycles == 0 {
+		return 0
+	}
+	return float64(w.Instructions) / float64(w.Cycles)
+}
+
+// Epoch is one periodic snapshot of the measurement window: a Window delta
+// plus its position in the run.
+type Epoch struct {
+	// Index is the epoch's ordinal within the measurement window.
+	Index int `json:"epoch"`
+	// EndAccesses is the cumulative number of measured accesses when the
+	// epoch closed.
+	EndAccesses uint64 `json:"endAccesses"`
+	Window
+}
+
+// Result summarises one run. With warmup disabled (the default) the
+// headline fields cover the whole run, bit-identical to the historical
+// cold-start accounting; with cfg.WarmupAccessesPerCore > 0 they are the
+// measurement-window deltas and Warmup holds the discarded transient.
 type Result struct {
 	Workload     string
 	Design       string
@@ -44,6 +89,19 @@ type Result struct {
 	// FastBytes/SlowBytes are total device traffic.
 	FastBytes, SlowBytes uint64
 	Stats                *sim.Stats
+	// MeanRangeCF is the mean quantised compression factor of staged
+	// ranges (Fig. 12); nonzero only for controllers that track it.
+	MeanRangeCF float64
+	// RemapCacheHitRate is the remap-cache hit rate (Section III-B);
+	// nonzero only for controllers with a remap cache.
+	RemapCacheHitRate float64
+	// Warmup is the warmup-window breakdown (zero when warmup is off).
+	Warmup Window
+	// Measured mirrors the headline metrics as an explicit window.
+	Measured Window
+	// Epochs is the per-epoch time-series of the measurement window
+	// (nil unless cfg.EpochAccesses > 0).
+	Epochs []Epoch
 }
 
 // IPC returns retired instructions per cycle.
@@ -52,6 +110,18 @@ func (r *Result) IPC() float64 {
 		return 0
 	}
 	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MeanRangeCFProvider is implemented by controllers that track staged-range
+// compression factors (the Baryon controller).
+type MeanRangeCFProvider interface {
+	MeanRangeCF() float64
+}
+
+// RemapCacheHitRateProvider is implemented by controllers with a remap
+// cache.
+type RemapCacheHitRateProvider interface {
+	RemapCacheHitRate() float64
 }
 
 // world tracks the functional value of dirty lines (written by cores but not
@@ -213,46 +283,54 @@ func (r *Runner) Controller() hybrid.Controller { return r.ctrl }
 // Hierarchy returns the cache stack.
 func (r *Runner) Hierarchy() *cache.Hierarchy { return r.hier }
 
-// Run replays accessesPerCore accesses on each core and returns the metrics.
-func (r *Runner) Run() Result {
-	cores := r.cfg.Cores
-	// Footprints are defined in 2 kB blocks regardless of the controller's
-	// internal geometry.
-	fp2k := (r.cfg.FastBytes - r.cfg.StageBytes) / 2048
+// runState carries the simulation frontier across windows: per-core clocks
+// survive the warmup/measurement boundary so measurement continues the same
+// interleaved timeline the warmup left behind.
+type runState struct {
+	streams []trace.Streamer
+	sink    hybrid.InstructionSink
+	osBytes uint64
+	clock   []uint64 // per-core next-issue time, carried across windows
+	left    []int
+	ready   clockHeap
+	// Cumulative run totals; windows are deltas between marks of these.
+	accesses     uint64
+	instructions uint64
+	cycles       uint64 // max finish watermark
+}
 
-	streams := r.src.Streams(cores, fp2k, r.cfg.Seed)
-
-	sink, _ := r.ctrl.(hybrid.InstructionSink)
-	osBytes := r.cfg.OSBlocks() * r.cfg.BlockBytes
-
-	left := make([]int, cores)
-	for c := range left {
-		left[c] = r.cfg.AccessesPerCore
+// runWindow replays perCore accesses on every core, continuing from the
+// clocks the previous window left. Cores are rescheduled in index order at
+// their carried clocks, so a run with warmup=0 replays the exact historical
+// interleaving. When epochEvery > 0, onEpoch fires after every epochEvery
+// accesses (total across cores).
+func (r *Runner) runWindow(st *runState, perCore int, epochEvery uint64, onEpoch func()) {
+	if perCore <= 0 {
+		return
 	}
-	var instructions uint64
-	var cycles uint64
-
+	cores := len(st.clock)
+	for c := 0; c < cores; c++ {
+		st.left[c] = perCore
+	}
 	// Ready cores live in a min-heap keyed by (clock, core index), so
 	// advancing the earliest core is O(log cores) instead of an O(cores)
-	// scan per access. All cores start at clock 0; pushing in index order
-	// yields the same initial interleaving as the scan it replaces.
-	ready := make(clockHeap, 0, cores)
+	// scan per access. Pushing in index order yields the same interleaving
+	// as the scan the heap replaced.
+	st.ready = st.ready[:0]
 	for c := 0; c < cores; c++ {
-		if left[c] > 0 {
-			ready.push(coreClock{time: 0, core: int32(c)})
-		}
+		st.ready.push(coreClock{time: st.clock[c], core: int32(c)})
 	}
-
-	for len(ready) > 0 {
-		core := int(ready[0].core)
-		acc := streams[core].Next()
-		addr := acc.Addr % osBytes &^ (hybrid.CachelineSize - 1)
+	var sinceEpoch uint64
+	for len(st.ready) > 0 {
+		core := int(st.ready[0].core)
+		acc := st.streams[core].Next()
+		addr := acc.Addr % st.osBytes &^ (hybrid.CachelineSize - 1)
 		gap := uint64(acc.Gap)
-		instructions += gap + 1
-		if sink != nil {
-			sink.AddInstructions(gap + 1)
+		st.instructions += gap + 1
+		if st.sink != nil {
+			st.sink.AddInstructions(gap + 1)
 		}
-		now := ready[0].time + uint64(float64(gap)/nonMemIPC)
+		now := st.ready[0].time + uint64(float64(gap)/nonMemIPC)
 
 		if acc.Write {
 			r.world.writeValue(addr)
@@ -260,34 +338,132 @@ func (r *Runner) Run() Result {
 		done := r.hier.Access(core, now, addr, acc.Write)
 		stall := (done - now) / uint64(r.cfg.MLPOverlap)
 		finish := now + stall + 1
-		if finish > cycles {
-			cycles = finish
+		if finish > st.cycles {
+			st.cycles = finish
 		}
-		left[core]--
-		if left[core] == 0 {
-			ready.popMin()
+		st.clock[core] = finish
+		st.accesses++
+		st.left[core]--
+		if st.left[core] == 0 {
+			st.ready.popMin()
 		} else {
-			ready[0].time = finish
-			ready.fixMin()
+			st.ready[0].time = finish
+			st.ready.fixMin()
+		}
+		if epochEvery > 0 {
+			sinceEpoch++
+			if sinceEpoch >= epochEvery {
+				onEpoch()
+				sinceEpoch = 0
+			}
 		}
 	}
+}
+
+// mark is a point-in-time reference for window deltas: a registry snapshot
+// plus the run-loop totals the registry does not own.
+type mark struct {
+	snap         sim.Snapshot
+	accesses     uint64
+	instructions uint64
+	cycles       uint64
+}
+
+func (r *Runner) mark(st *runState) mark {
+	return mark{
+		snap:         r.stats.Snapshot(),
+		accesses:     st.accesses,
+		instructions: st.instructions,
+		cycles:       st.cycles,
+	}
+}
+
+// windowSince computes the metrics accumulated between m and now, reading
+// the hierarchy and device deltas through typed counter handles.
+func (r *Runner) windowSince(m mark, st *runState) Window {
+	hc := r.hier.Counters()
+	served := m.snap.DeltaOf(hc.ServedFast)
+	servedSlow := m.snap.DeltaOf(hc.ServedSlow)
+	w := Window{
+		Accesses:      st.accesses - m.accesses,
+		Instructions:  st.instructions - m.instructions,
+		Cycles:        st.cycles - m.cycles,
+		FastServeRate: sim.Ratio(served, served+servedSlow),
+	}
+	if dp, ok := r.ctrl.(DeviceProvider); ok {
+		fc := dp.FastDevice().Counters()
+		sc := dp.SlowDevice().Counters()
+		w.FastBytes = m.snap.DeltaOf(fc.BytesRead) + m.snap.DeltaOf(fc.BytesWritten)
+		w.SlowBytes = m.snap.DeltaOf(sc.BytesRead) + m.snap.DeltaOf(sc.BytesWritten)
+		w.EnergyPJ = m.snap.DeltaOfFloat(fc.EnergyPJ) + m.snap.DeltaOfFloat(sc.EnergyPJ)
+		useful := m.snap.DeltaOf(hc.LLCMisses) * hybrid.CachelineSize
+		w.BloatFactor = sim.Ratio(w.FastBytes, useful)
+	}
+	return w
+}
+
+// Run replays the configured warmup window (if any), snapshots every
+// counter in the run registry, then replays accessesPerCore accesses on
+// each core and returns measurement-window metrics, plus the per-epoch
+// time-series when cfg.EpochAccesses > 0.
+func (r *Runner) Run() Result {
+	cores := r.cfg.Cores
+	// Footprints are defined in 2 kB blocks regardless of the controller's
+	// internal geometry.
+	fp2k := (r.cfg.FastBytes - r.cfg.StageBytes) / 2048
+
+	st := &runState{
+		streams: r.src.Streams(cores, fp2k, r.cfg.Seed),
+		osBytes: r.cfg.OSBlocks() * r.cfg.BlockBytes,
+		clock:   make([]uint64, cores),
+		left:    make([]int, cores),
+		ready:   make(clockHeap, 0, cores),
+	}
+	st.sink, _ = r.ctrl.(hybrid.InstructionSink)
+
+	start := r.mark(st)
+	r.runWindow(st, r.cfg.WarmupAccessesPerCore, 0, nil)
+	warmup := r.windowSince(start, st)
+	warm := r.mark(st)
+
+	var epochs []Epoch
+	epochStart := warm
+	onEpoch := func() {
+		w := r.windowSince(epochStart, st)
+		epochs = append(epochs, Epoch{
+			Index:       len(epochs),
+			EndAccesses: st.accesses - warm.accesses,
+			Window:      w,
+		})
+		epochStart = r.mark(st)
+	}
+	r.runWindow(st, r.cfg.AccessesPerCore, uint64(r.cfg.EpochAccesses), onEpoch)
+	if r.cfg.EpochAccesses > 0 && st.accesses > epochStart.accesses {
+		// Close the partial tail epoch so the series covers the window.
+		onEpoch()
+	}
+	measured := r.windowSince(warm, st)
 
 	res := Result{
-		Workload:     r.src.SourceName(),
-		Design:       r.ctrl.Name(),
-		Cycles:       cycles,
-		Instructions: instructions,
-		Stats:        r.stats,
+		Workload:      r.src.SourceName(),
+		Design:        r.ctrl.Name(),
+		Cycles:        measured.Cycles,
+		Instructions:  measured.Instructions,
+		FastServeRate: measured.FastServeRate,
+		BloatFactor:   measured.BloatFactor,
+		EnergyPJ:      measured.EnergyPJ,
+		FastBytes:     measured.FastBytes,
+		SlowBytes:     measured.SlowBytes,
+		Stats:         r.stats,
+		Warmup:        warmup,
+		Measured:      measured,
+		Epochs:        epochs,
 	}
-	served := r.stats.Get("hierarchy.servedFast")
-	total := served + r.stats.Get("hierarchy.servedSlow")
-	res.FastServeRate = sim.Ratio(served, total)
-	if dp, ok := r.ctrl.(DeviceProvider); ok {
-		res.FastBytes = dp.FastDevice().TotalBytes()
-		res.SlowBytes = dp.SlowDevice().TotalBytes()
-		res.EnergyPJ = dp.FastDevice().EnergyPJ() + dp.SlowDevice().EnergyPJ()
-		useful := r.stats.Get("hierarchy.llcMisses") * hybrid.CachelineSize
-		res.BloatFactor = sim.Ratio(res.FastBytes, useful)
+	if p, ok := r.ctrl.(MeanRangeCFProvider); ok {
+		res.MeanRangeCF = p.MeanRangeCF()
+	}
+	if p, ok := r.ctrl.(RemapCacheHitRateProvider); ok {
+		res.RemapCacheHitRate = p.RemapCacheHitRate()
 	}
 	return res
 }

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"baryon/internal/cpu"
+)
+
+// Epoch time-series export. A run configured with EpochAccesses > 0 carries
+// a per-epoch window series in Result.Epochs; these writers serialise it for
+// offline plotting (warmup behaviour, layout stabilisation, phase changes).
+
+// WriteEpochCSV writes the epoch series of res as CSV with a header row.
+// EndAccesses is cumulative within the measurement window; all other columns
+// are per-epoch deltas.
+func WriteEpochCSV(w io.Writer, res cpu.Result) error {
+	if _, err := fmt.Fprintln(w,
+		"epoch,endAccesses,accesses,instructions,cycles,ipc,fastServeRate,bloatFactor,fastBytes,slowBytes,energyPJ"); err != nil {
+		return err
+	}
+	for _, e := range res.Epochs {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%d,%d,%.1f\n",
+			e.Index, e.EndAccesses, e.Accesses, e.Instructions, e.Cycles,
+			e.IPC(), e.FastServeRate, e.BloatFactor,
+			e.FastBytes, e.SlowBytes, e.EnergyPJ)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochRecord is the JSONL shape of one epoch, stamped with the run's
+// workload/design so concatenated streams from sweeps stay self-describing.
+type epochRecord struct {
+	Workload      string  `json:"workload"`
+	Design        string  `json:"design"`
+	Epoch         int     `json:"epoch"`
+	EndAccesses   uint64  `json:"endAccesses"`
+	Accesses      uint64  `json:"accesses"`
+	Instructions  uint64  `json:"instructions"`
+	Cycles        uint64  `json:"cycles"`
+	IPC           float64 `json:"ipc"`
+	FastServeRate float64 `json:"fastServeRate"`
+	BloatFactor   float64 `json:"bloatFactor"`
+	FastBytes     uint64  `json:"fastBytes"`
+	SlowBytes     uint64  `json:"slowBytes"`
+	EnergyPJ      float64 `json:"energyPJ"`
+}
+
+// WriteEpochJSONL writes the epoch series of res as one JSON object per
+// line, suitable for appending across runs of a sweep.
+func WriteEpochJSONL(w io.Writer, res cpu.Result) error {
+	enc := json.NewEncoder(w)
+	for _, e := range res.Epochs {
+		rec := epochRecord{
+			Workload:      res.Workload,
+			Design:        res.Design,
+			Epoch:         e.Index,
+			EndAccesses:   e.EndAccesses,
+			Accesses:      e.Accesses,
+			Instructions:  e.Instructions,
+			Cycles:        e.Cycles,
+			IPC:           e.IPC(),
+			FastServeRate: e.FastServeRate,
+			BloatFactor:   e.BloatFactor,
+			FastBytes:     e.FastBytes,
+			SlowBytes:     e.SlowBytes,
+			EnergyPJ:      e.EnergyPJ,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -91,8 +91,8 @@ func CompressorComparison(cfg config.Config) ([]CPackRow, *Table) {
 		row := CPackRow{
 			Workload:        w.Name,
 			Speedup:         float64(base.Cycles) / float64(with.Cycles),
-			MeanCFDefault:   sim.Ratio(base.Stats.Get("baryon.rangeCFSum"), base.Stats.Get("baryon.rangeFetches")),
-			MeanCFWithCPack: sim.Ratio(with.Stats.Get("baryon.rangeCFSum"), with.Stats.Get("baryon.rangeFetches")),
+			MeanCFDefault:   base.MeanRangeCF,
+			MeanCFWithCPack: with.MeanRangeCF,
 		}
 		rows = append(rows, row)
 		t.AddRow(w.Name, f2(row.Speedup), f2(row.MeanCFDefault), f2(row.MeanCFWithCPack))
@@ -130,9 +130,7 @@ func RemapCacheSweep(cfg config.Config) ([]RemapCacheRow, *Table) {
 	for wi, w := range workloads {
 		cells := []string{w.Name}
 		for si, sets := range setPoints {
-			stats := results[wi*len(setPoints)+si].Stats
-			hr := sim.Ratio(stats.Get("remapCache.hits"),
-				stats.Get("remapCache.hits")+stats.Get("remapCache.misses"))
+			hr := results[wi*len(setPoints)+si].RemapCacheHitRate
 			rows = append(rows, RemapCacheRow{Workload: w.Name, Sets: sets, HitRate: hr})
 			cells = append(cells, pct(hr))
 		}

@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"baryon/internal/config"
-	"baryon/internal/sim"
 	"baryon/internal/trace"
 )
 
@@ -68,12 +67,11 @@ func Fig12(cfg config.Config) ([]Fig12Row, *Table) {
 			if v.Name == "default" {
 				baseCycles = float64(res.Cycles)
 			}
-			cf := sim.Ratio(res.Stats.Get("baryon.rangeCFSum"), res.Stats.Get("baryon.rangeFetches"))
 			row := Fig12Row{
 				Workload:    w.Name,
 				Variant:     v.Name,
 				Speedup:     baseCycles / float64(res.Cycles),
-				MeanRangeCF: cf,
+				MeanRangeCF: res.MeanRangeCF,
 			}
 			rows = append(rows, row)
 			t.AddRow(w.Name, v.Name, f2(row.Speedup), f2(row.MeanRangeCF))

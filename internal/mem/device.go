@@ -114,13 +114,28 @@ type Device struct {
 	reads, writes              *sim.Counter
 	bytesRead, bytesWritten    *sim.Counter
 	rowHits, rowMisses         *sim.Counter
-	energyPJ                   float64
-	totalReadLat, maxQueueing  uint64
+	energy                     *sim.FloatAccum
+	readLat                    *sim.Counter
+	maxQueueing                uint64
 	dbgChan, dbgBank, dbgSpill uint64
 }
 
+// Counters exposes the device's typed metric handles so run harnesses can
+// compute window deltas against snapshots without string-keyed lookups.
+type Counters struct {
+	Reads, Writes           *sim.Counter
+	BytesRead, BytesWritten *sim.Counter
+	RowHits, RowMisses      *sim.Counter
+	// ReadLatCycles accumulates observed demand-read latency.
+	ReadLatCycles *sim.Counter
+	// EnergyPJ accumulates access energy in picojoules.
+	EnergyPJ *sim.FloatAccum
+}
+
 // NewDevice builds a device from cfg, registering its counters in stats
-// under the device name prefix.
+// under the device name scope (e.g. "DDR4-3200.bytesRead"). All traffic,
+// energy and latency metrics live on the run registry so they participate
+// in snapshots and warmup/measurement windows.
 func NewDevice(cfg Config, stats *sim.Stats) *Device {
 	d := &Device{cfg: cfg}
 	if cfg.DetailedTiming != nil {
@@ -130,14 +145,26 @@ func NewDevice(cfg Config, stats *sim.Stats) *Device {
 	for i := range d.channels {
 		d.channels[i].banks = make([]bank, cfg.Banks)
 	}
-	p := cfg.Name + "."
-	d.reads = stats.Counter(p + "reads")
-	d.writes = stats.Counter(p + "writes")
-	d.bytesRead = stats.Counter(p + "bytesRead")
-	d.bytesWritten = stats.Counter(p + "bytesWritten")
-	d.rowHits = stats.Counter(p + "rowHits")
-	d.rowMisses = stats.Counter(p + "rowMisses")
+	s := stats.Scope(cfg.Name)
+	d.reads = s.Counter("reads")
+	d.writes = s.Counter("writes")
+	d.bytesRead = s.Counter("bytesRead")
+	d.bytesWritten = s.Counter("bytesWritten")
+	d.rowHits = s.Counter("rowHits")
+	d.rowMisses = s.Counter("rowMisses")
+	d.readLat = s.Counter("readLatCycles")
+	d.energy = s.Float("energyPJ")
 	return d
+}
+
+// Counters returns the device's typed metric handles.
+func (d *Device) Counters() Counters {
+	return Counters{
+		Reads: d.reads, Writes: d.writes,
+		BytesRead: d.bytesRead, BytesWritten: d.bytesWritten,
+		RowHits: d.rowHits, RowMisses: d.rowMisses,
+		ReadLatCycles: d.readLat, EnergyPJ: d.energy,
+	}
 }
 
 // Config returns the device configuration.
@@ -196,11 +223,11 @@ func (d *Device) AccessBackground(now uint64, addr uint64, size uint64, write bo
 		if write {
 			d.writes.Inc()
 			d.bytesWritten.Add(n)
-			d.energyPJ += float64(n*8) * d.cfg.WritePJPerBit
+			d.energy.Add(float64(n*8) * d.cfg.WritePJPerBit)
 		} else {
 			d.reads.Inc()
 			d.bytesRead.Add(n)
-			d.energyPJ += float64(n*8) * d.cfg.ReadPJPerBit
+			d.energy.Add(float64(n*8) * d.cfg.ReadPJPerBit)
 		}
 	}
 	return now + d.cfg.RowMissLatency + uint64(float64(size)/d.cfg.BytesPerCycle)
@@ -254,7 +281,7 @@ func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64
 		lat = d.cfg.RowMissLatency
 		bk.openRow, bk.hasRow = row, true
 		d.rowMisses.Inc()
-		d.energyPJ += d.cfg.ActivatePJ
+		d.energy.Add(d.cfg.ActivatePJ)
 	} else {
 		d.rowHits.Inc()
 	}
@@ -272,29 +299,31 @@ func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64
 	if write {
 		d.writes.Inc()
 		d.bytesWritten.Add(size)
-		d.energyPJ += float64(size*8) * d.cfg.WritePJPerBit
+		d.energy.Add(float64(size*8) * d.cfg.WritePJPerBit)
 	} else {
 		d.reads.Inc()
 		d.bytesRead.Add(size)
-		d.energyPJ += float64(size*8) * d.cfg.ReadPJPerBit
-		d.totalReadLat += done - now
+		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
+		d.readLat.Add(done - now)
 	}
 	return done
 }
 
-// EnergyPJ returns the accumulated access energy in picojoules.
-func (d *Device) EnergyPJ() float64 { return d.energyPJ }
+// EnergyPJ returns the accumulated access energy in picojoules. It is a
+// thin read of the registry accumulator.
+func (d *Device) EnergyPJ() float64 { return d.energy.Value() }
 
 // TotalBytes returns the total bytes moved in either direction.
 func (d *Device) TotalBytes() uint64 { return d.bytesRead.Value() + d.bytesWritten.Value() }
 
 // AvgReadLatency returns the mean observed read latency in cycles.
 func (d *Device) AvgReadLatency() float64 {
-	return sim.Ratio(d.totalReadLat, d.reads.Value())
+	return sim.Ratio(d.readLat.Value(), d.reads.Value())
 }
 
-// Reset clears all timing state and latency accumulators (counters are owned
-// by the Stats collection and reset there).
+// Reset clears all timing state and the non-registry accumulators. The
+// traffic/energy/latency counters live on the run's Stats registry and are
+// reset there (Stats.Reset on the device's scope).
 func (d *Device) Reset() {
 	for i := range d.channels {
 		d.channels[i].freeAt = 0
@@ -303,8 +332,6 @@ func (d *Device) Reset() {
 			d.channels[i].banks[j] = bank{}
 		}
 	}
-	d.energyPJ = 0
-	d.totalReadLat = 0
 	d.maxQueueing = 0
 }
 
@@ -328,18 +355,18 @@ func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool
 			d.rowHits.Inc()
 		} else {
 			d.rowMisses.Inc()
-			d.energyPJ += d.cfg.ActivatePJ
+			d.energy.Add(d.cfg.ActivatePJ)
 		}
 	}
 	if write {
 		d.writes.Inc()
 		d.bytesWritten.Add(size)
-		d.energyPJ += float64(size*8) * d.cfg.WritePJPerBit
+		d.energy.Add(float64(size*8) * d.cfg.WritePJPerBit)
 	} else {
 		d.reads.Inc()
 		d.bytesRead.Add(size)
-		d.energyPJ += float64(size*8) * d.cfg.ReadPJPerBit
-		d.totalReadLat += done - now
+		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
+		d.readLat.Add(done - now)
 	}
 	return done
 }

@@ -22,16 +22,19 @@ type rcLine struct {
 	lastUse uint64
 }
 
-// NewRemapCache builds a sets x ways remap cache and registers counters.
+// NewRemapCache builds a sets x ways remap cache and registers its
+// hit/miss/writeback counters on stats. Callers hand in an already-scoped
+// view (the controller uses stats.Scope("remapCache")), so the cache itself
+// registers bare names.
 func NewRemapCache(sets, ways int, stats *sim.Stats) *RemapCache {
 	c := &RemapCache{sets: sets, ways: ways}
 	c.tags = make([][]rcLine, sets)
 	for i := range c.tags {
 		c.tags[i] = make([]rcLine, ways)
 	}
-	c.hits = stats.Counter("remapCache.hits")
-	c.misses = stats.Counter("remapCache.misses")
-	c.writebacks = stats.Counter("remapCache.writebacks")
+	c.hits = stats.Counter("hits")
+	c.misses = stats.Counter("misses")
+	c.writebacks = stats.Counter("writebacks")
 	return c
 }
 

@@ -22,62 +22,223 @@ func (c *Counter) Inc() { c.v++ }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
 
-// Name returns the counter's registered name.
+// Name returns the counter's fully-qualified registered name.
 func (c *Counter) Name() string { return c.name }
 
-// Stats is a named collection of counters. Controllers and devices register
-// their counters here so experiments can render uniform reports.
-type Stats struct {
+// FloatAccum is a monotonically accumulating float metric (energy,
+// latency-weighted sums). It lives in the same registry as Counters so
+// snapshots and window deltas cover it.
+type FloatAccum struct {
+	name string
+	v    float64
+}
+
+// Add accumulates x.
+func (f *FloatAccum) Add(x float64) { f.v += x }
+
+// Value returns the accumulated total.
+func (f *FloatAccum) Value() float64 { return f.v }
+
+// Name returns the accumulator's fully-qualified registered name.
+func (f *FloatAccum) Name() string { return f.name }
+
+// registry is the single shared store behind every Stats view of a run:
+// one registry owns every counter, however deep the component that
+// registered it sits in the hierarchy.
+type registry struct {
 	order    []string
 	counters map[string]*Counter
+	forder   []string
+	floats   map[string]*FloatAccum
 }
 
-// NewStats returns an empty collection.
+// Stats is a view onto a run's metric registry. The root view (NewStats)
+// sees every counter; Scope derives prefixed child views that register and
+// read under "prefix." while still sharing the same registry, so per-core
+// or per-component counters stay visible to run-level snapshots.
+type Stats struct {
+	reg    *registry
+	prefix string
+}
+
+// NewStats returns the root view of a fresh, empty registry.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]*Counter)}
+	return &Stats{reg: &registry{
+		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatAccum),
+	}}
 }
 
-// Counter returns the counter with the given name, creating it on first use.
+// Scope returns a child view whose registrations and reads are prefixed by
+// "name." on the same underlying registry. Scope("l1").Scope("core0") and
+// Scope("l1.core0") are equivalent; an empty name returns the view itself.
+func (s *Stats) Scope(name string) *Stats {
+	if name == "" {
+		return s
+	}
+	return &Stats{reg: s.reg, prefix: s.prefix + name + "."}
+}
+
+// Counter returns the counter with the given name under this view's scope,
+// creating it on first use.
 func (s *Stats) Counter(name string) *Counter {
-	if c, ok := s.counters[name]; ok {
+	full := s.prefix + name
+	if c, ok := s.reg.counters[full]; ok {
 		return c
 	}
-	c := &Counter{name: name}
-	s.counters[name] = c
-	s.order = append(s.order, name)
+	c := &Counter{name: full}
+	s.reg.counters[full] = c
+	s.reg.order = append(s.reg.order, full)
 	return c
 }
 
-// Get returns the value of a counter, or 0 if it was never registered.
+// Float returns the float accumulator with the given name under this view's
+// scope, creating it on first use.
+func (s *Stats) Float(name string) *FloatAccum {
+	full := s.prefix + name
+	if f, ok := s.reg.floats[full]; ok {
+		return f
+	}
+	f := &FloatAccum{name: full}
+	s.reg.floats[full] = f
+	s.reg.forder = append(s.reg.forder, full)
+	return f
+}
+
+// Get returns the value of a counter under this view's scope, or 0 if it
+// was never registered.
 func (s *Stats) Get(name string) uint64 {
-	if c, ok := s.counters[name]; ok {
+	if c, ok := s.reg.counters[s.prefix+name]; ok {
 		return c.v
 	}
 	return 0
 }
 
-// Names returns the counter names in registration order.
+// GetFloat returns the value of a float accumulator under this view's
+// scope, or 0 if it was never registered.
+func (s *Stats) GetFloat(name string) float64 {
+	if f, ok := s.reg.floats[s.prefix+name]; ok {
+		return f.v
+	}
+	return 0
+}
+
+// Names returns the counter names visible to this view in registration
+// order, relative to the view's scope (so Get(name) resolves each of them).
+// The root view sees every fully-qualified name.
 func (s *Stats) Names() []string {
-	out := make([]string, len(s.order))
-	copy(out, s.order)
+	out := make([]string, 0, len(s.reg.order))
+	for _, name := range s.reg.order {
+		if strings.HasPrefix(name, s.prefix) {
+			out = append(out, name[len(s.prefix):])
+		}
+	}
 	return out
 }
 
-// Reset zeroes every counter but keeps the registrations.
+// FloatNames returns the float-accumulator names visible to this view in
+// registration order, relative to the view's scope.
+func (s *Stats) FloatNames() []string {
+	out := make([]string, 0, len(s.reg.forder))
+	for _, name := range s.reg.forder {
+		if strings.HasPrefix(name, s.prefix) {
+			out = append(out, name[len(s.prefix):])
+		}
+	}
+	return out
+}
+
+// Reset zeroes every counter and accumulator visible to this view but
+// keeps the registrations.
 func (s *Stats) Reset() {
-	for _, c := range s.counters {
-		c.v = 0
+	for name, c := range s.reg.counters {
+		if strings.HasPrefix(name, s.prefix) {
+			c.v = 0
+		}
+	}
+	for name, f := range s.reg.floats {
+		if strings.HasPrefix(name, s.prefix) {
+			f.v = 0
+		}
 	}
 }
 
-// String renders the counters as "name=value" lines in registration order.
+// String renders the visible counters as "name=value" lines in registration
+// order, followed by any float accumulators.
 func (s *Stats) String() string {
 	var b strings.Builder
-	for _, name := range s.order {
-		fmt.Fprintf(&b, "%s=%d\n", name, s.counters[name].v)
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.Get(name))
+	}
+	for _, name := range s.FloatNames() {
+		fmt.Fprintf(&b, "%s=%g\n", name, s.GetFloat(name))
 	}
 	return b.String()
 }
+
+// Snapshot is a point-in-time copy of every metric visible to one view.
+// Snapshots are cheap value copies of the registry's numbers; they do not
+// keep the registry alive beyond the maps they hold.
+type Snapshot struct {
+	counters map[string]uint64
+	floats   map[string]float64
+}
+
+// Snapshot captures the current value of every counter and accumulator
+// visible to this view.
+func (s *Stats) Snapshot() Snapshot {
+	sn := Snapshot{
+		counters: make(map[string]uint64, len(s.reg.counters)),
+		floats:   make(map[string]float64, len(s.reg.floats)),
+	}
+	for name, c := range s.reg.counters {
+		if strings.HasPrefix(name, s.prefix) {
+			sn.counters[name] = c.v
+		}
+	}
+	for name, f := range s.reg.floats {
+		if strings.HasPrefix(name, s.prefix) {
+			sn.floats[name] = f.v
+		}
+	}
+	return sn
+}
+
+// Delta returns the per-metric change since snap, as a new Snapshot whose
+// values are current-minus-snapshotted. Counters registered after snap was
+// taken delta against zero.
+func (s *Stats) Delta(snap Snapshot) Snapshot {
+	d := Snapshot{
+		counters: make(map[string]uint64, len(s.reg.counters)),
+		floats:   make(map[string]float64, len(s.reg.floats)),
+	}
+	for name, c := range s.reg.counters {
+		if strings.HasPrefix(name, s.prefix) {
+			d.counters[name] = c.v - snap.counters[name]
+		}
+	}
+	for name, f := range s.reg.floats {
+		if strings.HasPrefix(name, s.prefix) {
+			d.floats[name] = f.v - snap.floats[name]
+		}
+	}
+	return d
+}
+
+// Get returns the snapshotted value of a fully-qualified counter name.
+func (sn Snapshot) Get(name string) uint64 { return sn.counters[name] }
+
+// GetFloat returns the snapshotted value of a fully-qualified accumulator
+// name.
+func (sn Snapshot) GetFloat(name string) float64 { return sn.floats[name] }
+
+// DeltaOf returns how much counter c has advanced since the snapshot was
+// taken. Counters registered after the snapshot delta against zero.
+func (sn Snapshot) DeltaOf(c *Counter) uint64 { return c.v - sn.counters[c.name] }
+
+// DeltaOfFloat returns how much accumulator f has advanced since the
+// snapshot was taken.
+func (sn Snapshot) DeltaOfFloat(f *FloatAccum) float64 { return f.v - sn.floats[f.name] }
 
 // Ratio returns num/den as a float, or 0 when den is zero.
 func Ratio(num, den uint64) float64 {
