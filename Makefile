@@ -13,8 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiment suite under the race detector is CPU-bound and can exceed
+# go test's default 10m per-package timeout on small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 # Short allocation smoke: tracks the single-run hot path (allocs/op).
 bench:

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"baryon/internal/config"
+	"baryon/internal/cpu"
 	"baryon/internal/experiment"
+	"baryon/internal/obs"
 	"baryon/internal/trace"
 )
 
@@ -203,12 +205,31 @@ func BenchmarkFig9Parallel(b *testing.B) {
 
 // BenchmarkSingleRun measures the simulator's own throughput on one
 // (workload, design) pair — useful for tracking the harness's performance.
+// Tracing is disabled here; the observability hooks must keep this within
+// noise of the pre-tracing baseline (nil-check fast path).
 func BenchmarkSingleRun(b *testing.B) {
 	cfg := benchConfig()
 	w, _ := trace.ByName("505.mcf_r")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunOne(cfg, w, experiment.DesignBaryon)
+		if res.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+// BenchmarkSingleRunTraced is the same run with the request-lifecycle
+// tracer attached at the default 1-in-64 sampling; the delta against
+// BenchmarkSingleRun is the cost of tracing.
+func BenchmarkSingleRunTraced(b *testing.B) {
+	cfg := benchConfig()
+	w, _ := trace.ByName("505.mcf_r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := cpu.NewRunner(cfg, w, experiment.Factory(experiment.DesignBaryon))
+		r.SetTracer(obs.NewTracer(64, 0))
+		res := r.Run()
 		if res.Cycles == 0 {
 			b.Fatal("no cycles")
 		}

@@ -11,12 +11,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
 	"baryon/internal/experiment"
+	"baryon/internal/obs"
 	"baryon/internal/trace"
 )
 
@@ -33,6 +37,9 @@ func main() {
 	epochCSV := flag.String("epoch-csv", "", "write the epoch time-series as CSV to this file (- for stdout)")
 	epochJSONL := flag.String("epoch-jsonl", "", "write the epoch time-series as JSONL to this file (- for stdout)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace-out", "", "write sampled request lifecycles as Chrome trace_event JSON to this file (enables tracing)")
+	traceSample := flag.Uint64("trace-sample", 64, "with -trace-out, sample 1 in N requests (1 = every request)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /runz live run status on this address (e.g. localhost:6060)")
 	verbose := flag.Bool("v", false, "dump every raw counter")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -64,6 +71,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-epoch-csv/-epoch-jsonl require -epoch > 0")
 		os.Exit(2)
 	}
+	if *traceSample == 0 {
+		fmt.Fprintln(os.Stderr, "-trace-sample must be >= 1")
+		os.Exit(2)
+	}
 
 	var w trace.Workload
 	if *workloadFile != "" {
@@ -92,18 +103,50 @@ func main() {
 		cfg.Mode = config.ModeFlat
 	}
 
-	var res cpu.Result
+	var r *cpu.Runner
 	if *traceFile != "" {
 		rep, err := trace.LoadReplayFile(*traceFile, *traceFile, w.Mix)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loading trace: %v\n", err)
 			os.Exit(2)
 		}
-		r := cpu.NewRunnerSource(cfg, rep, experiment.Factory(*design))
-		res = r.Run()
-		res.Design = *design
+		r = cpu.NewRunnerSource(cfg, rep, experiment.Factory(*design))
 	} else {
-		res = experiment.RunOne(cfg, w, *design)
+		r = cpu.NewRunner(cfg, w, experiment.Factory(*design))
+	}
+
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(*traceSample, 0)
+		r.SetTracer(tr)
+	}
+	if *debugAddr != "" {
+		in := &obs.Introspector{}
+		r.SetIntrospector(in, 0)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/runz\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.NewDebugMux(in)); err != nil {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+	}
+
+	res := r.Run()
+	res.Design = *design
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteFlameSummary(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "trace summary: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	writeEpochs(res, *epochCSV, experiment.WriteEpochCSV)
 	writeEpochs(res, *epochJSONL, experiment.WriteEpochJSONL)
@@ -127,6 +170,9 @@ func main() {
 		}
 		if len(res.Epochs) > 0 {
 			out["epochs"] = res.Epochs
+		}
+		if len(res.Latency) > 0 {
+			out["latency"] = res.Latency
 		}
 		if *verbose {
 			counters := map[string]uint64{}
@@ -159,10 +205,41 @@ func main() {
 	if len(res.Epochs) > 0 {
 		fmt.Printf("epochs:          %d (every %d accesses)\n", len(res.Epochs), cfg.EpochAccesses)
 	}
+	if m, ok := res.Latency["hierarchy.lat.demand"]; ok {
+		fmt.Printf("demand latency:  p50 %.0f, p99 %.0f, p99.9 %.0f, max %d cycles\n",
+			m.P50, m.P99, m.P999, m.Max)
+	}
 	if *verbose {
+		if len(res.Latency) > 0 {
+			fmt.Println("\nlatency histograms (cycles):")
+			names := make([]string, 0, len(res.Latency))
+			for name := range res.Latency {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				m := res.Latency[name]
+				fmt.Printf("  %-28s n=%-9d mean=%-8.1f p50=%-7.0f p90=%-7.0f p99=%-7.0f p99.9=%-7.0f max=%d\n",
+					name, m.Count, m.Mean, m.P50, m.P90, m.P99, m.P999, m.Max)
+			}
+		}
 		fmt.Println("\ncounters:")
 		fmt.Print(res.Stats.String())
 	}
+}
+
+// writeTrace dumps the tracer's ring buffer as Chrome trace_event JSON
+// (load via chrome://tracing or https://ui.perfetto.dev).
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeEpochs serialises the epoch series to path ("-" = stdout) with the

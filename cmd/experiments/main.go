@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use a reduced access budget per core")
-	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity")
+	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -58,8 +59,12 @@ func main() {
 		{"llcprefetch", func() *experiment.Table { _, t := experiment.PrefetchAblation(cfg); return t }},
 		{"osvshw", func() *experiment.Table { _, t := experiment.OSvsHW(cfg); return t }},
 		{"ddrfidelity", func() *experiment.Table { _, t := experiment.DDRFidelitySweep(cfg); return t }},
+		{"taillat", func() *experiment.Table { return experiment.TailLatency(cfg) }},
 	}
 
+	// Buffer stdout and check the flush: a deferred or implicit flush would
+	// silently drop tables on a full disk or broken pipe.
+	out := bufio.NewWriter(os.Stdout)
 	ran := 0
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
@@ -67,7 +72,11 @@ func main() {
 		}
 		start := time.Now()
 		table := e.run()
-		table.Render(os.Stdout)
+		table.Render(out)
+		if err := out.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", e.name, time.Since(start).Seconds())
 		ran++
 	}

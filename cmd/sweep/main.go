@@ -79,7 +79,8 @@ func main() {
 	out := csv.NewWriter(os.Stdout)
 	header := []string{"workload", "design", "mode", "seed", "cycles",
 		"instructions", "ipc", "fastServeRate", "bloatFactor",
-		"fastBytes", "slowBytes", "energyPJ"}
+		"fastBytes", "slowBytes", "energyPJ",
+		"memLatP50", "memLatP99", "memLatMax"}
 	if err := out.Write(header); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -107,6 +108,9 @@ func main() {
 				strconv.FormatUint(res.FastBytes, 10),
 				strconv.FormatUint(res.SlowBytes, 10),
 				fmt.Sprintf("%.0f", res.EnergyPJ),
+				fmt.Sprintf("%.1f", res.Measured.MemLat.P50),
+				fmt.Sprintf("%.1f", res.Measured.MemLat.P99),
+				strconv.FormatUint(res.Measured.MemLat.Max, 10),
 			}
 			if err := out.Write(row); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,94 @@
+// Command tracecheck validates a Chrome trace_event JSON file emitted by
+// baryonsim -trace-out: the file must be valid JSON, contain trace events,
+// and every fully-sampled request must carry at least -min-phases distinct
+// span phases (issue, cache levels, controller decision, device service,
+// completion). CI runs it after a short traced run to keep the trace format
+// honest.
+//
+//	go run ./cmd/tracecheck -min-phases 5 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// traceFile mirrors the subset of the Chrome trace_event JSON object format
+// that tracecheck inspects.
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+type traceEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Args *traceArgs `json:"args"`
+}
+
+type traceArgs struct {
+	Req uint64 `json:"req"`
+}
+
+func main() {
+	minPhases := flag.Int("min-phases", 5, "minimum distinct span phases required on the deepest request")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-phases N] trace.json")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !json.Valid(raw) {
+		fmt.Fprintf(os.Stderr, "%s: not valid JSON\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no trace events\n", flag.Arg(0))
+		os.Exit(1)
+	}
+
+	// Group span phases per request ID. Only events that carry a request tag
+	// participate; the deepest request (an LLC miss that walked the whole
+	// plane) must show at least -min-phases distinct phase names.
+	phases := make(map[uint64]map[string]bool)
+	for _, e := range tf.TraceEvents {
+		if e.Args == nil {
+			continue
+		}
+		set := phases[e.Args.Req]
+		if set == nil {
+			set = make(map[string]bool)
+			phases[e.Args.Req] = set
+		}
+		set[e.Name] = true
+	}
+	if len(phases) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no request-tagged events\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	best := 0
+	for _, set := range phases {
+		if len(set) > best {
+			best = len(set)
+		}
+	}
+	if best < *minPhases {
+		fmt.Fprintf(os.Stderr, "%s: deepest request has %d distinct phases, want >= %d\n",
+			flag.Arg(0), best, *minPhases)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d events, %d sampled requests, deepest request %d phases)\n",
+		flag.Arg(0), len(tf.TraceEvents), len(phases), best)
+}

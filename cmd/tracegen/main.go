@@ -33,7 +33,6 @@ func main() {
 	s := w.NewStream(*core, fp2k, *seed)
 
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 	if *replay {
 		fmt.Fprintf(out, "# %s replay trace, %d accesses per core\n", w.Name, *n)
 		for c := 0; c < 16; c++ {
@@ -45,6 +44,7 @@ func main() {
 				}
 			}
 		}
+		flushOrExit(out)
 		return
 	}
 	fmt.Fprintf(out, "# %s core=%d footprint=%d blocks\n", w.Name, *core, w.Blocks(fp2k))
@@ -56,5 +56,15 @@ func main() {
 		}
 		fmt.Fprintf(out, "%s 0x%012x gap=%d block=%d sub=%d\n",
 			op, a.Addr, a.Gap, a.Addr/2048, a.Addr%2048/256)
+	}
+	flushOrExit(out)
+}
+
+// flushOrExit drains the buffered writer; a deferred Flush would silently
+// swallow a full disk or closed pipe, so surface the error in the exit code.
+func flushOrExit(out *bufio.Writer) {
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"baryon/internal/compress"
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -33,6 +34,14 @@ type DICE struct {
 
 	accesses, hits, misses, writebacks *sim.Counter
 	servedFast, decompressions         *sim.Counter
+	hooks                              obsHooks
+}
+
+// SetTracer attaches a request-lifecycle tracer (nil detaches).
+func (d *DICE) SetTracer(t *obs.Tracer) {
+	d.hooks.tracer = t
+	d.fast.SetTracer(t)
+	d.slow.SetTracer(t)
 }
 
 type diceSlot struct {
@@ -61,6 +70,7 @@ func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompress
 	d.writebacks = cstats.Counter("writebacks")
 	d.servedFast = cstats.Counter("servedFast")
 	d.decompressions = cstats.Counter("decompressions")
+	d.hooks = newObsHooks(cstats)
 	return d
 }
 
@@ -139,6 +149,7 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 			d.decompressions.Inc()
 		}
 		d.servedFast.Inc()
+		d.hooks.observeFast(now, done, "hit")
 		res := hybrid.Result{Done: done, ServedByFast: true, Data: d.store.Line(addr)}
 		base := run * uint64(cf) * 64
 		for l := uint8(0); l < cf; l++ {
@@ -160,6 +171,7 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 		res = hybrid.Result{Done: now}
 	} else {
 		done := d.slow.Access(probe, addr, 64, false)
+		d.hooks.observeSlow(now, done, "miss")
 		res = hybrid.Result{Done: done, Data: d.store.Line(addr)}
 	}
 	d.installRun(now, lineIdx, cf, write)

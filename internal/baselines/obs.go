@@ -1,0 +1,37 @@
+package baselines
+
+import (
+	"baryon/internal/obs"
+	"baryon/internal/sim"
+)
+
+// obsHooks bundles the per-baseline observability state: the fast-hit and
+// slow-path read-latency histograms every baseline records, and the
+// request-lifecycle tracer handle (nil unless tracing is on). Embedded in
+// each baseline controller so they all expose the same "lat.fastHit" /
+// "lat.slowPath" names under their own registry scope.
+type obsHooks struct {
+	latFast, latSlow *sim.Histogram
+	tracer           *obs.Tracer
+}
+
+func newObsHooks(s *sim.Stats) obsHooks {
+	return obsHooks{latFast: s.Histogram("lat.fastHit"), latSlow: s.Histogram("lat.slowPath")}
+}
+
+// observeFast records a read served by the fast tier; cat names the
+// controller's decision for the trace (e.g. "hit", "subHit").
+func (h *obsHooks) observeFast(now, done uint64, cat string) {
+	h.latFast.Observe(done - now)
+	if h.tracer != nil {
+		h.tracer.Instant("decision", cat, now)
+	}
+}
+
+// observeSlow records a read that went to the slow tier.
+func (h *obsHooks) observeSlow(now, done uint64, cat string) {
+	h.latSlow.Observe(done - now)
+	if h.tracer != nil {
+		h.tracer.Instant("decision", cat, now)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -35,6 +36,14 @@ type OSPaging struct {
 	migPenalty uint64 // cycles of software overhead per migrated page
 
 	hits, misses, migrations, writebacks *sim.Counter
+	hooks                                obsHooks
+}
+
+// SetTracer attaches a request-lifecycle tracer (nil detaches).
+func (o *OSPaging) SetTracer(t *obs.Tracer) {
+	o.hooks.tracer = t
+	o.fast.SetTracer(t)
+	o.slow.SetTracer(t)
 }
 
 // osPageSize is the migration granularity (4 kB OS pages = 2 blocks).
@@ -69,6 +78,7 @@ func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPag
 	o.misses = cstats.Counter("misses")
 	o.migrations = cstats.Counter("migrations")
 	o.writebacks = cstats.Counter("writebacks")
+	o.hooks = newObsHooks(cstats)
 	return o
 }
 
@@ -108,6 +118,7 @@ func (o *OSPaging) Access(now uint64, addr uint64, write bool, data []byte) hybr
 			res = hybrid.Result{Done: now}
 		} else {
 			done := o.fast.Access(issue, page*osPageSize%uint64(o.fastPages*osPageSize)+addr%osPageSize, 64, false)
+			o.hooks.observeFast(now, done, "pageHit")
 			res = hybrid.Result{Done: done, ServedByFast: true, Data: o.store.Line(addr)}
 		}
 	} else {
@@ -117,6 +128,7 @@ func (o *OSPaging) Access(now uint64, addr uint64, write bool, data []byte) hybr
 			res = hybrid.Result{Done: now}
 		} else {
 			done := o.slow.Access(issue, addr, 64, false)
+			o.hooks.observeSlow(now, done, "pageMiss")
 			res = hybrid.Result{Done: done, Data: o.store.Line(addr)}
 		}
 	}

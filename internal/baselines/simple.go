@@ -15,6 +15,7 @@ package baselines
 import (
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -32,6 +33,14 @@ type Simple struct {
 	accesses, hits, misses, writebacks *sim.Counter
 	servedFast                         *sim.Counter
 	metaLatency                        uint64
+	hooks                              obsHooks
+}
+
+// SetTracer attaches a request-lifecycle tracer (nil detaches).
+func (s *Simple) SetTracer(t *obs.Tracer) {
+	s.hooks.tracer = t
+	s.fast.SetTracer(t)
+	s.slow.SetTracer(t)
 }
 
 type simpleSet struct {
@@ -69,6 +78,7 @@ func NewSimple(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	s.misses = cstats.Counter("misses")
 	s.writebacks = cstats.Counter("writebacks")
 	s.servedFast = cstats.Counter("servedFast")
+	s.hooks = newObsHooks(cstats)
 	return s
 }
 
@@ -107,6 +117,7 @@ func (s *Simple) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 			}
 			done := s.fast.Access(now+s.metaLatency, s.frameAddr(block, w), 64, false)
 			s.servedFast.Inc()
+			s.hooks.observeFast(now, done, "hit")
 			return hybrid.Result{Done: done, ServedByFast: true, Data: s.store.Line(addr)}
 		}
 	}
@@ -119,6 +130,7 @@ func (s *Simple) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 		s.slow.AccessBackground(now, addr, 64, true)
 	} else {
 		done := s.slow.Access(now+s.metaLatency, addr, 64, false)
+		s.hooks.observeSlow(now, done, "miss")
 		res = hybrid.Result{Done: done, Data: s.store.Line(addr)}
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -39,6 +40,14 @@ type Unison struct {
 
 	accesses, blockHits, subHits, subMisses, blockMisses *sim.Counter
 	wayMispredicts, writebacks, servedFast               *sim.Counter
+	hooks                                                obsHooks
+}
+
+// SetTracer attaches a request-lifecycle tracer (nil detaches).
+func (u *Unison) SetTracer(t *obs.Tracer) {
+	u.hooks.tracer = t
+	u.fast.SetTracer(t)
+	u.slow.SetTracer(t)
 }
 
 type unisonSet struct {
@@ -88,6 +97,7 @@ func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	u.wayMispredicts = cstats.Counter("wayMispredicts")
 	u.writebacks = cstats.Counter("writebacks")
 	u.servedFast = cstats.Counter("servedFast")
+	u.hooks = newObsHooks(cstats)
 	return u
 }
 
@@ -144,6 +154,7 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 			}
 			done := u.fast.Access(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, false)
 			u.servedFast.Inc()
+			u.hooks.observeFast(now, done, "subHit")
 			return hybrid.Result{Done: done, ServedByFast: true, Data: u.store.Line(addr)}
 		}
 		// Sub-block miss within an allocated block: fetch just the sub.
@@ -158,6 +169,7 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 			return hybrid.Result{Done: now}
 		}
 		done := u.slow.Access(now, addr, 64, false)
+		u.hooks.observeSlow(now, done, "subMiss")
 		u.fast.AccessBackground(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
 		return hybrid.Result{Done: done, Data: u.store.Line(addr)}
 	}
@@ -171,6 +183,7 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 		res = hybrid.Result{Done: now}
 	} else {
 		done := u.slow.Access(probe, addr, 64, false)
+		u.hooks.observeSlow(now, done, "blockMiss")
 		res = hybrid.Result{Done: done, Data: u.store.Line(addr)}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"baryon/internal/hybrid"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -51,6 +52,13 @@ type Hierarchy struct {
 
 	llcMisses, llcWritebacks, prefetchInstalls *sim.Counter
 	demandLines, servedFast, servedSlow        *sim.Counter
+
+	// Per-access-class completion latency histograms and the whole-plane
+	// demand latency, observed on every Access.
+	latL1, latL2, latLLC        *sim.Histogram
+	latMemFast, latMemSlow, lat *sim.Histogram
+
+	tracer *obs.Tracer
 }
 
 // NewHierarchy builds the cache stack in front of ctrl. Every level —
@@ -76,7 +84,22 @@ func NewHierarchy(cfg HierarchyConfig, ctrl hybrid.Controller, stats *sim.Stats)
 	h.demandLines = s.Counter("demandLines")
 	h.servedFast = s.Counter("servedFast")
 	h.servedSlow = s.Counter("servedSlow")
+	h.latL1 = s.Histogram("lat.l1Hit")
+	h.latL2 = s.Histogram("lat.l2Hit")
+	h.latLLC = s.Histogram("lat.llcHit")
+	h.latMemFast = s.Histogram("lat.memFast")
+	h.latMemSlow = s.Histogram("lat.memSlow")
+	h.lat = s.Histogram("lat.demand")
 	return h
+}
+
+// SetTracer attaches a request-lifecycle tracer to the hierarchy and, when
+// the controller supports it, propagates it downstream. Nil detaches.
+func (h *Hierarchy) SetTracer(t *obs.Tracer) {
+	h.tracer = t
+	if sink, ok := h.ctrl.(obs.TracerSink); ok {
+		sink.SetTracer(t)
+	}
 }
 
 // Counters exposes the hierarchy's typed counter handles so the run loop
@@ -85,6 +108,10 @@ type Counters struct {
 	LLCMisses, LLCWritebacks      *sim.Counter
 	PrefetchInstalls, DemandLines *sim.Counter
 	ServedFast, ServedSlow        *sim.Counter
+	// DemandLat is the whole-plane demand completion-latency histogram
+	// ("hierarchy.lat.demand"), exposed so the run loop can take window
+	// deltas of it next to the counters.
+	DemandLat *sim.Histogram
 }
 
 // Counters returns the hierarchy's typed counter handles.
@@ -93,6 +120,7 @@ func (h *Hierarchy) Counters() Counters {
 		LLCMisses: h.llcMisses, LLCWritebacks: h.llcWritebacks,
 		PrefetchInstalls: h.prefetchInstalls, DemandLines: h.demandLines,
 		ServedFast: h.servedFast, ServedSlow: h.servedSlow,
+		DemandLat: h.lat,
 	}
 }
 
@@ -120,18 +148,45 @@ func (h *Hierarchy) Access(core int, now uint64, addr uint64, write bool) uint64
 	l1, l2 := h.l1[core], h.l2[core]
 
 	if l1.Access(addr, write) {
-		return now + h.cfg.L1.Latency
+		done := now + h.cfg.L1.Latency
+		h.latL1.Observe(done - now)
+		h.lat.Observe(done - now)
+		if h.tracer != nil {
+			h.tracer.Span("L1", "hit", now, done)
+		}
+		return done
 	}
 	lat := h.cfg.L1.Latency
+	if h.tracer != nil {
+		h.tracer.Span("L1", "miss", now, now+lat)
+	}
 	if l2.Access(addr, false) {
 		h.fillL1(core, addr, write, now)
-		return now + lat + h.cfg.L2.Latency
+		done := now + lat + h.cfg.L2.Latency
+		h.latL2.Observe(done - now)
+		h.lat.Observe(done - now)
+		if h.tracer != nil {
+			h.tracer.Span("L2", "hit", now+lat, done)
+		}
+		return done
+	}
+	if h.tracer != nil {
+		h.tracer.Span("L2", "miss", now+lat, now+lat+h.cfg.L2.Latency)
 	}
 	lat += h.cfg.L2.Latency
 	if h.llc.Access(addr, false) {
 		h.fillL2(core, addr, now)
 		h.fillL1(core, addr, write, now)
-		return now + lat + h.cfg.LLC.Latency
+		done := now + lat + h.cfg.LLC.Latency
+		h.latLLC.Observe(done - now)
+		h.lat.Observe(done - now)
+		if h.tracer != nil {
+			h.tracer.Span("LLC", "hit", now+lat, done)
+		}
+		return done
+	}
+	if h.tracer != nil {
+		h.tracer.Span("LLC", "miss", now+lat, now+lat+h.cfg.LLC.Latency)
 	}
 	lat += h.cfg.LLC.Latency
 	h.llcMisses.Inc()
@@ -139,8 +194,18 @@ func (h *Hierarchy) Access(core int, now uint64, addr uint64, write bool) uint64
 	res := h.ctrl.Access(now+lat, addr, false, nil)
 	if res.ServedByFast {
 		h.servedFast.Inc()
+		h.latMemFast.Observe(res.Done - now)
 	} else {
 		h.servedSlow.Inc()
+		h.latMemSlow.Observe(res.Done - now)
+	}
+	h.lat.Observe(res.Done - now)
+	if h.tracer != nil {
+		cat := "slow"
+		if res.ServedByFast {
+			cat = "fast"
+		}
+		h.tracer.Span("ctrl", cat, now+lat, res.Done)
 	}
 	h.installLLC(addr, false, now)
 	if h.cfg.InstallPrefetched {

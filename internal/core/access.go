@@ -30,6 +30,7 @@ func (c *Controller) Access(now uint64, addr uint64, write bool, data []byte) hy
 	c.ageStageSet(sset)
 	sw, slot := c.stageFind(sset, super, blkOff, s)
 	if sw >= 0 {
+		c.traceDecision(now, "stageHit")
 		return c.caseStageHit(now, stageT, ssi, sw, slot, b, s, line, write, data)
 	}
 
@@ -39,17 +40,22 @@ func (c *Controller) Access(now uint64, addr uint64, write bool, data []byte) hy
 
 	switch {
 	case ri.z:
+		c.traceDecision(now, "zeroBlock")
 		return c.caseZeroBlock(now, rmT, b, s, line, write, data)
 	case ri.remap&(1<<s) != 0:
+		c.traceDecision(now, "fastHit")
 		return c.caseFastHit(now, rmT, ri, b, s, line, write, data)
 	case ri.valid():
+		c.traceDecision(now, "fastSubMiss")
 		return c.caseFastSubMiss(now, rmT, b, s, line, write, data)
 	}
 
 	// The block is not committed; is it staged (some other sub-block)?
 	if bw := c.stageFindBlock(sset, super, blkOff); bw >= 0 {
+		c.traceDecision(now, "stageSubMiss")
 		return c.caseStageSubMiss(now, stageT, ssi, bw, b, s, line, write, data)
 	}
+	c.traceDecision(now, "blockMiss")
 	return c.caseBlockMiss(now, maxU64(stageT, rmT), ssi, b, s, line, write, data)
 }
 
@@ -100,6 +106,7 @@ func (c *Controller) caseStageHit(now, stageT uint64, ssi, sw, slot int, b uint6
 		if !write {
 			c.ctr.servedZero.Inc()
 			c.ctr.servedFast.Inc()
+			c.ctr.latStageHit.Observe(stageT - now)
 			return hybrid.Result{Done: stageT, ServedByFast: true, Data: zeroLine()}
 		}
 		// Writing non-zero data to an all-zero block: drop the zero
@@ -122,6 +129,7 @@ func (c *Controller) caseStageHit(now, stageT uint64, ssi, sw, slot int, b uint6
 			c.ctr.decompressions.Inc()
 		}
 		c.ctr.servedFast.Inc()
+		c.ctr.latStageHit.Observe(done - now)
 		lineData := fr.data[slot][lineInRange*64 : lineInRange*64+64]
 		res := hybrid.Result{Done: done, ServedByFast: true, Data: lineData}
 		res.Prefetched = c.chunkPrefetch(b, start, cf, lineInRange, fr.data[slot])
@@ -215,6 +223,7 @@ func (c *Controller) caseZeroBlock(now, rmT uint64, b uint64, s, line int, write
 		c.ctr.servedZero.Inc()
 		c.ctr.servedFast.Inc()
 		c.ctr.fastHits.Inc()
+		c.ctr.latFastHit.Observe(rmT - now)
 		return hybrid.Result{Done: rmT, ServedByFast: true, Data: zeroLine()}
 	}
 	// A non-zero write invalidates Z; the block falls back to the slow
@@ -254,6 +263,7 @@ func (c *Controller) caseFastHit(now, rmT uint64, ri *remapInfo, b uint64, s, li
 			c.ctr.decompressions.Inc()
 		}
 		c.ctr.servedFast.Inc()
+		c.ctr.latFastHit.Observe(done - now)
 		lineData := rg.data[lineInRange*64 : lineInRange*64+64]
 		res := hybrid.Result{Done: done, ServedByFast: true, Data: lineData}
 		res.Prefetched = c.chunkPrefetch(b, start, cf, lineInRange, rg.data)
@@ -287,6 +297,7 @@ func (c *Controller) caseFastSubMiss(now, rmT uint64, b uint64, s, line int, wri
 	} else {
 		done := c.slow.Access(rmT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
+		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 	if !c.cfg.UseStageArea {
@@ -319,6 +330,7 @@ func (c *Controller) caseStageSubMiss(now, stageT uint64, ssi, sw int, b uint64,
 	} else {
 		done := c.slow.Access(stageT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
+		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 	// Background: stage the maximal compressible range around s (Rule 3
@@ -343,6 +355,7 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 	} else {
 		done := c.slow.Access(metaT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
 		c.ctr.servedSlow.Inc()
+		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
 	}
 

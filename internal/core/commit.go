@@ -193,13 +193,15 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 		c.evictFastFrame(now, si, targetW)
 	}
 
+	commitDone := now
 	if !appending || !target.valid {
 		native := target.native
 		*target = fastFrame{valid: true, super: fr.tag.Super, native: native}
 	} else {
 		// Appending rewrites the frame's dense layout (a re-sort).
 		c.ctr.resortRewrites.Inc()
-		c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true)
+		commitDone = maxU64(commitDone,
+			c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true))
 	}
 	target.lastUse = c.seq
 	target.allocSeq = c.seq
@@ -220,10 +222,16 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 			dirty: rg.Dirty, data: fr.data[slot],
 		})
 		// Traffic: stage read + cache/flat-area write, both in fast memory.
-		c.fast.AccessBackground(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes, false)
+		commitDone = maxU64(commitDone,
+			c.fast.AccessBackground(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes, false))
 	}
 	sortOcc(target.occ)
-	c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true)
+	commitDone = maxU64(commitDone,
+		c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true))
+	c.ctr.latCommit.Observe(commitDone - now)
+	if c.tracer != nil {
+		c.tracer.Span("commit", "", now, commitDone)
+	}
 
 	// Rewrite the remap entries of every block present in the target frame.
 	c.rebuildRemap(si, targetW)

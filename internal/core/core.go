@@ -14,6 +14,7 @@ import (
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
 	"baryon/internal/metadata"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
 
@@ -103,8 +104,9 @@ type Controller struct {
 
 	seq uint64 // monotonic sequence for LRU/FIFO ordering
 
-	stats *sim.Stats
-	ctr   counters
+	stats  *sim.Stats
+	ctr    counters
+	tracer *obs.Tracer
 
 	instr Instrumentation
 
@@ -154,6 +156,11 @@ type counters struct {
 	resortRewrites                      *sim.Counter
 	compressedWritebacks                *sim.Counter
 	multiFrameSupers                    *sim.Counter
+
+	// Per-access-class latency histograms (read critical path) and the
+	// background commit/writeback stall distributions.
+	latStageHit, latFastHit, latSlowPath *sim.Histogram
+	latCommit, latWriteback              *sim.Histogram
 }
 
 // New builds a Baryon controller over the canonical store. The store must
@@ -240,6 +247,28 @@ func (c *Controller) initCounters() {
 		resortRewrites:       s.Counter("resortRewrites"),
 		compressedWritebacks: s.Counter("compressedWritebacks"),
 		multiFrameSupers:     s.Counter("multiFrameSupers"),
+
+		latStageHit:  s.Histogram("lat.stageHit"),
+		latFastHit:   s.Histogram("lat.fastHit"),
+		latSlowPath:  s.Histogram("lat.slowPath"),
+		latCommit:    s.Histogram("lat.commit"),
+		latWriteback: s.Histogram("lat.writeback"),
+	}
+}
+
+// SetTracer attaches a request-lifecycle tracer to the controller and its
+// devices. Nil detaches.
+func (c *Controller) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	c.fast.SetTracer(t)
+	c.slow.SetTracer(t)
+}
+
+// traceDecision records the controller's access-flow case for the current
+// sampled request as an instant event (no-op when tracing is off).
+func (c *Controller) traceDecision(now uint64, cat string) {
+	if c.tracer != nil {
+		c.tracer.Instant("decision", cat, now)
 	}
 }
 

@@ -108,7 +108,11 @@ func (c *Controller) writeRangeToSlow(now uint64, b uint64, subOff, cf int, cont
 		}
 		c.ctr.compressedWritebacks.Inc()
 	}
-	c.slow.AccessBackground(now, c.slowAddr(b, subOff), bytes, true)
+	wbDone := c.slow.AccessBackground(now, c.slowAddr(b, subOff), bytes, true)
+	c.ctr.latWriteback.Observe(wbDone - now)
+	if c.tracer != nil {
+		c.tracer.Span("writeback", "", now, wbDone)
+	}
 }
 
 // chooseRange picks the maximal contiguous aligned range containing sub s of

@@ -8,11 +8,14 @@
 package cpu
 
 import (
+	"time"
+
 	"baryon/internal/cache"
 	"baryon/internal/config"
 	"baryon/internal/datagen"
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
+	"baryon/internal/obs"
 	"baryon/internal/sim"
 	"baryon/internal/trace"
 )
@@ -48,6 +51,9 @@ type Window struct {
 	SlowBytes uint64 `json:"slowBytes"`
 	// EnergyPJ is the window's memory-system access energy.
 	EnergyPJ float64 `json:"energyPJ"`
+	// MemLat digests the window's whole-plane demand completion-latency
+	// histogram ("hierarchy.lat.demand" window delta).
+	MemLat sim.HistSummary `json:"memLat"`
 }
 
 // IPC returns the window's retired instructions per cycle.
@@ -102,6 +108,10 @@ type Result struct {
 	// Epochs is the per-epoch time-series of the measurement window
 	// (nil unless cfg.EpochAccesses > 0).
 	Epochs []Epoch
+	// Latency holds the measurement-window delta summary of every latency
+	// histogram registered on the run (keyed by fully-qualified registry
+	// name, e.g. "hierarchy.lat.demand"); empty histograms are omitted.
+	Latency map[string]sim.HistSummary
 }
 
 // IPC returns retired instructions per cycle.
@@ -247,6 +257,15 @@ type Runner struct {
 	store *hybrid.Store
 	world *world
 	stats *sim.Stats
+
+	// tracer, when set, brackets every demand access with request-lifecycle
+	// events. Nil (the default) keeps the hot path on a single branch.
+	tracer *obs.Tracer
+	// intro, when set, receives RunStatus snapshots every progressEvery
+	// accesses (published from the run goroutine; readers see immutable
+	// copies, never the live registry).
+	intro         *obs.Introspector
+	progressEvery uint64
 }
 
 // ControllerFactory builds a controller over a canonical store.
@@ -277,6 +296,26 @@ func NewRunnerSource(cfg config.Config, src trace.Source, factory ControllerFact
 	return r
 }
 
+// SetTracer attaches a request-lifecycle tracer to the runner, the cache
+// hierarchy and (through obs.TracerSink) the controller and its devices.
+// Must be called before Run; nil detaches everywhere.
+func (r *Runner) SetTracer(t *obs.Tracer) {
+	r.tracer = t
+	r.hier.SetTracer(t)
+}
+
+// SetIntrospector points the runner at a live-introspection publisher: a
+// fresh RunStatus is published every `every` accesses (and at window
+// boundaries). The runner remains the only goroutine touching the registry;
+// HTTP handlers read only the published immutable snapshots.
+func (r *Runner) SetIntrospector(in *obs.Introspector, every uint64) {
+	if every == 0 {
+		every = 65536
+	}
+	r.intro = in
+	r.progressEvery = every
+}
+
 // Controller returns the controller under test.
 func (r *Runner) Controller() hybrid.Controller { return r.ctrl }
 
@@ -297,6 +336,7 @@ type runState struct {
 	accesses     uint64
 	instructions uint64
 	cycles       uint64 // max finish watermark
+	phase        string // "warmup" or "measure", for live introspection
 }
 
 // runWindow replays perCore accesses on every core, continuing from the
@@ -320,7 +360,7 @@ func (r *Runner) runWindow(st *runState, perCore int, epochEvery uint64, onEpoch
 	for c := 0; c < cores; c++ {
 		st.ready.push(coreClock{time: st.clock[c], core: int32(c)})
 	}
-	var sinceEpoch uint64
+	var sinceEpoch, sinceProgress uint64
 	for len(st.ready) > 0 {
 		core := int(st.ready[0].core)
 		acc := st.streams[core].Next()
@@ -335,7 +375,13 @@ func (r *Runner) runWindow(st *runState, perCore int, epochEvery uint64, onEpoch
 		if acc.Write {
 			r.world.writeValue(addr)
 		}
+		if r.tracer != nil {
+			r.tracer.BeginReq(core, addr, now)
+		}
 		done := r.hier.Access(core, now, addr, acc.Write)
+		if r.tracer != nil {
+			r.tracer.EndReq(done)
+		}
 		stall := (done - now) / uint64(r.cfg.MLPOverlap)
 		finish := now + stall + 1
 		if finish > st.cycles {
@@ -357,7 +403,36 @@ func (r *Runner) runWindow(st *runState, perCore int, epochEvery uint64, onEpoch
 				sinceEpoch = 0
 			}
 		}
+		if r.intro != nil {
+			sinceProgress++
+			if sinceProgress >= r.progressEvery {
+				r.publishStatus(st)
+				sinceProgress = 0
+			}
+		}
 	}
+	if r.intro != nil {
+		r.publishStatus(st)
+	}
+}
+
+// publishStatus builds and publishes an immutable RunStatus. It runs on the
+// run goroutine, which owns the registry, so the reads are race-free; the
+// published copy is never mutated afterwards.
+func (r *Runner) publishStatus(st *runState) {
+	rs := &obs.RunStatus{
+		Workload:       r.src.SourceName(),
+		Design:         r.ctrl.Name(),
+		TargetAccesses: uint64(r.cfg.Cores) * uint64(r.cfg.WarmupAccessesPerCore+r.cfg.AccessesPerCore),
+		Accesses:       st.accesses,
+		Instructions:   st.instructions,
+		Cycles:         st.cycles,
+		CoreClocks:     append([]uint64(nil), st.clock...),
+		Phase:          st.phase,
+		UpdatedAt:      time.Now(),
+	}
+	obs.StatusFromStats(r.stats, rs)
+	r.intro.Publish(rs)
 }
 
 // mark is a point-in-time reference for window deltas: a registry snapshot
@@ -390,6 +465,8 @@ func (r *Runner) windowSince(m mark, st *runState) Window {
 		Cycles:        st.cycles - m.cycles,
 		FastServeRate: sim.Ratio(served, served+servedSlow),
 	}
+	demandLat := m.snap.DeltaOfHist(hc.DemandLat)
+	w.MemLat = demandLat.Summary()
 	if dp, ok := r.ctrl.(DeviceProvider); ok {
 		fc := dp.FastDevice().Counters()
 		sc := dp.SlowDevice().Counters()
@@ -422,9 +499,11 @@ func (r *Runner) Run() Result {
 	st.sink, _ = r.ctrl.(hybrid.InstructionSink)
 
 	start := r.mark(st)
+	st.phase = "warmup"
 	r.runWindow(st, r.cfg.WarmupAccessesPerCore, 0, nil)
 	warmup := r.windowSince(start, st)
 	warm := r.mark(st)
+	st.phase = "measure"
 
 	var epochs []Epoch
 	epochStart := warm
@@ -464,6 +543,15 @@ func (r *Runner) Run() Result {
 	}
 	if p, ok := r.ctrl.(RemapCacheHitRateProvider); ok {
 		res.RemapCacheHitRate = p.RemapCacheHitRate()
+	}
+	res.Latency = make(map[string]sim.HistSummary)
+	for _, name := range r.stats.HistNames() {
+		h := r.stats.GetHistogram(name)
+		d := warm.snap.DeltaOfHist(h)
+		if d.Count() == 0 {
+			continue
+		}
+		res.Latency[name] = d.Summary()
 	}
 	return res
 }

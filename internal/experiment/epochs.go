@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"baryon/internal/cpu"
+	"baryon/internal/sim"
 )
 
 // Epoch time-series export. A run configured with EpochAccesses > 0 carries
@@ -17,14 +18,15 @@ import (
 // are per-epoch deltas.
 func WriteEpochCSV(w io.Writer, res cpu.Result) error {
 	if _, err := fmt.Fprintln(w,
-		"epoch,endAccesses,accesses,instructions,cycles,ipc,fastServeRate,bloatFactor,fastBytes,slowBytes,energyPJ"); err != nil {
+		"epoch,endAccesses,accesses,instructions,cycles,ipc,fastServeRate,bloatFactor,fastBytes,slowBytes,energyPJ,memLatP50,memLatP99,memLatMax"); err != nil {
 		return err
 	}
 	for _, e := range res.Epochs {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%d,%d,%.1f\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%d,%d,%.1f,%.1f,%.1f,%d\n",
 			e.Index, e.EndAccesses, e.Accesses, e.Instructions, e.Cycles,
 			e.IPC(), e.FastServeRate, e.BloatFactor,
-			e.FastBytes, e.SlowBytes, e.EnergyPJ)
+			e.FastBytes, e.SlowBytes, e.EnergyPJ,
+			e.MemLat.P50, e.MemLat.P99, e.MemLat.Max)
 		if err != nil {
 			return err
 		}
@@ -48,6 +50,8 @@ type epochRecord struct {
 	FastBytes     uint64  `json:"fastBytes"`
 	SlowBytes     uint64  `json:"slowBytes"`
 	EnergyPJ      float64 `json:"energyPJ"`
+	// MemLat is the epoch's whole-plane demand-latency summary.
+	MemLat sim.HistSummary `json:"memLat"`
 }
 
 // WriteEpochJSONL writes the epoch series of res as one JSON object per
@@ -69,6 +73,7 @@ func WriteEpochJSONL(w io.Writer, res cpu.Result) error {
 			FastBytes:     e.FastBytes,
 			SlowBytes:     e.SlowBytes,
 			EnergyPJ:      e.EnergyPJ,
+			MemLat:        e.MemLat,
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

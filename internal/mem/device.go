@@ -7,7 +7,10 @@
 // DDR protocol state machine.
 package mem
 
-import "baryon/internal/sim"
+import (
+	"baryon/internal/obs"
+	"baryon/internal/sim"
+)
 
 // Config describes one memory device. All latencies are in CPU cycles
 // (3.2 GHz per Table I).
@@ -116,6 +119,8 @@ type Device struct {
 	rowHits, rowMisses         *sim.Counter
 	energy                     *sim.FloatAccum
 	readLat                    *sim.Counter
+	queueHist, svcHist         *sim.Histogram
+	tracer                     *obs.Tracer
 	maxQueueing                uint64
 	dbgChan, dbgBank, dbgSpill uint64
 }
@@ -154,8 +159,16 @@ func NewDevice(cfg Config, stats *sim.Stats) *Device {
 	d.rowMisses = s.Counter("rowMisses")
 	d.readLat = s.Counter("readLatCycles")
 	d.energy = s.Float("energyPJ")
+	// Queue occupancy (cycles a demand access waits for channel/bank) and
+	// end-to-end device service latency, per demand access.
+	d.queueHist = s.Histogram("lat.queue")
+	d.svcHist = s.Histogram("lat.service")
 	return d
 }
+
+// SetTracer attaches a request-lifecycle tracer; device service spans are
+// recorded for sampled requests. Nil detaches.
+func (d *Device) SetTracer(t *obs.Tracer) { d.tracer = t }
 
 // Counters returns the device's typed metric handles.
 func (d *Device) Counters() Counters {
@@ -275,13 +288,16 @@ func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64
 	if queue > d.maxQueueing {
 		d.maxQueueing = queue
 	}
+	d.queueHist.Observe(queue)
 
 	lat := d.cfg.RowHitLatency
+	rowClass := "rowHit"
 	if !bk.hasRow || bk.openRow != row {
 		lat = d.cfg.RowMissLatency
 		bk.openRow, bk.hasRow = row, true
 		d.rowMisses.Inc()
 		d.energy.Add(d.cfg.ActivatePJ)
+		rowClass = "rowMiss"
 	} else {
 		d.rowHits.Inc()
 	}
@@ -305,6 +321,10 @@ func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64
 		d.bytesRead.Add(size)
 		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
 		d.readLat.Add(done - now)
+	}
+	d.svcHist.Observe(done - now)
+	if d.tracer != nil {
+		d.tracer.Span(d.cfg.Name, rowClass, now, done)
 	}
 	return done
 }
@@ -345,6 +365,8 @@ func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool
 		start += uint64((ch.bgBytes - bgHighWater) / d.cfg.BytesPerCycle)
 		ch.bgBytes = bgHighWater
 	}
+	d.queueHist.Observe(start - now)
+	rowClass := "rowHit"
 	var done uint64
 	for off := uint64(0); off < size; off += 64 {
 		_, last, rowHit := d.engine.Access(start, addr+off, write)
@@ -356,6 +378,7 @@ func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool
 		} else {
 			d.rowMisses.Inc()
 			d.energy.Add(d.cfg.ActivatePJ)
+			rowClass = "rowMiss"
 		}
 	}
 	if write {
@@ -367,6 +390,10 @@ func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool
 		d.bytesRead.Add(size)
 		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
 		d.readLat.Add(done - now)
+	}
+	d.svcHist.Observe(done - now)
+	if d.tracer != nil {
+		d.tracer.Span(d.cfg.Name, rowClass, now, done)
 	}
 	return done
 }

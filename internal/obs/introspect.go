@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baryon/internal/sim"
+)
+
+// NamedValue is one counter (or float accumulator) in a published snapshot.
+type NamedValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// NamedHist is one histogram summary in a published snapshot.
+type NamedHist struct {
+	Name    string          `json:"name"`
+	Summary sim.HistSummary `json:"summary"`
+}
+
+// RunStatus is an immutable point-in-time view of a running simulation,
+// published by the run goroutine and read by HTTP handlers. Because the
+// sim.Stats registry is per-run and not goroutine-safe, handlers never touch
+// live registry state: they only see these published copies.
+type RunStatus struct {
+	Workload       string       `json:"workload"`
+	Design         string       `json:"design"`
+	TargetAccesses uint64       `json:"targetAccesses"`
+	Accesses       uint64       `json:"accesses"`
+	Instructions   uint64       `json:"instructions"`
+	Cycles         uint64       `json:"cycles"`
+	CoreClocks     []uint64     `json:"coreClocks"`
+	Counters       []NamedValue `json:"counters"`
+	Floats         []NamedValue `json:"floats"`
+	Hists          []NamedHist  `json:"hists"`
+	Phase          string       `json:"phase"` // "warmup" or "measure"
+	UpdatedAt      time.Time    `json:"updatedAt"`
+}
+
+// Introspector publishes RunStatus snapshots from the run goroutine and
+// hands the latest one to any number of concurrent readers.
+type Introspector struct {
+	latest atomic.Pointer[RunStatus]
+}
+
+// Publish installs st as the latest status. Called from the run goroutine.
+func (in *Introspector) Publish(st *RunStatus) { in.latest.Store(st) }
+
+// Latest returns the most recently published status, or nil before the
+// first publish. The returned value is immutable; do not modify it.
+func (in *Introspector) Latest() *RunStatus { return in.latest.Load() }
+
+// StatusFromStats builds the counter/float/histogram sections of a
+// RunStatus from a registry. Must be called on the goroutine that owns st.
+func StatusFromStats(st *sim.Stats, dst *RunStatus) {
+	for _, name := range st.Names() {
+		dst.Counters = append(dst.Counters, NamedValue{Name: name, Value: float64(st.Get(name))})
+	}
+	for _, name := range st.FloatNames() {
+		dst.Floats = append(dst.Floats, NamedValue{Name: name, Value: st.GetFloat(name)})
+	}
+	for _, name := range st.HistNames() {
+		if h := st.GetHistogram(name); h != nil {
+			dst.Hists = append(dst.Hists, NamedHist{Name: name, Summary: h.Summary()})
+		}
+	}
+}
+
+var expvarOnce sync.Once
+
+// NewDebugMux builds the -debug-addr HTTP handler: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars (including the latest published
+// run status as "baryon.run"), and a human-readable /runz status page.
+func NewDebugMux(in *Introspector) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("baryon.run", expvar.Func(func() any {
+			return in.Latest()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/runz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeRunz(w, in.Latest())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "baryonsim debug listener")
+		fmt.Fprintln(w, "  /runz         run status")
+		fmt.Fprintln(w, "  /debug/vars   expvar (includes baryon.run)")
+		fmt.Fprintln(w, "  /debug/pprof/ profiling")
+	})
+	return mux
+}
+
+func writeRunz(w http.ResponseWriter, st *RunStatus) {
+	if st == nil {
+		fmt.Fprintln(w, "no run status published yet")
+		return
+	}
+	fmt.Fprintf(w, "workload %s  design %s  phase %s  updated %s\n",
+		st.Workload, st.Design, st.Phase, st.UpdatedAt.Format(time.RFC3339))
+	pct := 0.0
+	if st.TargetAccesses > 0 {
+		pct = 100 * float64(st.Accesses) / float64(st.TargetAccesses)
+	}
+	fmt.Fprintf(w, "progress %d / %d accesses (%.1f%%)  %d instructions  %d cycles\n\n",
+		st.Accesses, st.TargetAccesses, pct, st.Instructions, st.Cycles)
+	fmt.Fprintln(w, "per-core clocks:")
+	for i, c := range st.CoreClocks {
+		fmt.Fprintf(w, "  core %d  %d\n", i, c)
+	}
+	if len(st.Hists) > 0 {
+		fmt.Fprintln(w, "\nlatency histograms (cycles):")
+		for _, h := range st.Hists {
+			fmt.Fprintf(w, "  %-28s %s\n", h.Name, h.Summary)
+		}
+	}
+	if len(st.Counters) > 0 {
+		fmt.Fprintln(w, "\ncounters:")
+		sorted := append([]NamedValue(nil), st.Counters...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, c := range sorted {
+			fmt.Fprintf(w, "  %-36s %.0f\n", c.Name, c.Value)
+		}
+	}
+	if len(st.Floats) > 0 {
+		fmt.Fprintln(w, "\nfloat accumulators:")
+		sorted := append([]NamedValue(nil), st.Floats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, f := range sorted {
+			fmt.Fprintf(w, "  %-36s %.3f\n", f.Name, f.Value)
+		}
+	}
+}

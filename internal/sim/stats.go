@@ -50,12 +50,22 @@ type registry struct {
 	counters map[string]*Counter
 	forder   []string
 	floats   map[string]*FloatAccum
+	horder   []string
+	hists    map[string]*Histogram
 }
 
 // Stats is a view onto a run's metric registry. The root view (NewStats)
 // sees every counter; Scope derives prefixed child views that register and
 // read under "prefix." while still sharing the same registry, so per-core
 // or per-component counters stay visible to run-level snapshots.
+//
+// Concurrency contract: a registry is per-run state, NOT goroutine-safe.
+// Every run (cpu.Runner) builds its own registry via NewStats and mutates it
+// from the single goroutine executing that run; parallel harnesses
+// (experiment.RunPairs) get isolation by never sharing a registry between
+// jobs, not by locking. Cross-goroutine readers (e.g. a live debug server)
+// must consume immutable Snapshot values published by the run goroutine,
+// never the live Stats.
 type Stats struct {
 	reg    *registry
 	prefix string
@@ -66,6 +76,7 @@ func NewStats() *Stats {
 	return &Stats{reg: &registry{
 		counters: make(map[string]*Counter),
 		floats:   make(map[string]*FloatAccum),
+		hists:    make(map[string]*Histogram),
 	}}
 }
 
@@ -103,6 +114,37 @@ func (s *Stats) Float(name string) *FloatAccum {
 	s.reg.floats[full] = f
 	s.reg.forder = append(s.reg.forder, full)
 	return f
+}
+
+// Histogram returns the latency histogram with the given name under this
+// view's scope, creating it on first use.
+func (s *Stats) Histogram(name string) *Histogram {
+	full := s.prefix + name
+	if h, ok := s.reg.hists[full]; ok {
+		return h
+	}
+	h := &Histogram{name: full}
+	s.reg.hists[full] = h
+	s.reg.horder = append(s.reg.horder, full)
+	return h
+}
+
+// GetHistogram returns the live histogram registered under this view's
+// scope, or nil if it was never registered.
+func (s *Stats) GetHistogram(name string) *Histogram {
+	return s.reg.hists[s.prefix+name]
+}
+
+// HistNames returns the histogram names visible to this view in
+// registration order, relative to the view's scope.
+func (s *Stats) HistNames() []string {
+	out := make([]string, 0, len(s.reg.horder))
+	for _, name := range s.reg.horder {
+		if strings.HasPrefix(name, s.prefix) {
+			out = append(out, name[len(s.prefix):])
+		}
+	}
+	return out
 }
 
 // Get returns the value of a counter under this view's scope, or 0 if it
@@ -148,8 +190,8 @@ func (s *Stats) FloatNames() []string {
 	return out
 }
 
-// Reset zeroes every counter and accumulator visible to this view but
-// keeps the registrations.
+// Reset zeroes every counter, accumulator and histogram visible to this
+// view but keeps the registrations.
 func (s *Stats) Reset() {
 	for name, c := range s.reg.counters {
 		if strings.HasPrefix(name, s.prefix) {
@@ -159,6 +201,11 @@ func (s *Stats) Reset() {
 	for name, f := range s.reg.floats {
 		if strings.HasPrefix(name, s.prefix) {
 			f.v = 0
+		}
+	}
+	for name, h := range s.reg.hists {
+		if strings.HasPrefix(name, s.prefix) {
+			*h = Histogram{name: h.name}
 		}
 	}
 }
@@ -177,19 +224,26 @@ func (s *Stats) String() string {
 }
 
 // Snapshot is a point-in-time copy of every metric visible to one view.
-// Snapshots are cheap value copies of the registry's numbers; they do not
-// keep the registry alive beyond the maps they hold.
+// Snapshots are value copies of the registry's numbers (including full
+// histogram bucket arrays); they do not keep the registry alive beyond the
+// maps they hold. Unlike the live Stats, a Snapshot is immutable after
+// capture and therefore safe to hand to other goroutines — this is the only
+// supported way to expose run metrics outside the run's own goroutine.
 type Snapshot struct {
 	counters map[string]uint64
 	floats   map[string]float64
+	hists    map[string]Histogram
 }
 
-// Snapshot captures the current value of every counter and accumulator
-// visible to this view.
+// Snapshot captures the current value of every counter, accumulator and
+// histogram visible to this view. It must be called from the run's own
+// goroutine (the registry is not goroutine-safe); the returned value can
+// then be shared freely.
 func (s *Stats) Snapshot() Snapshot {
 	sn := Snapshot{
 		counters: make(map[string]uint64, len(s.reg.counters)),
 		floats:   make(map[string]float64, len(s.reg.floats)),
+		hists:    make(map[string]Histogram, len(s.reg.hists)),
 	}
 	for name, c := range s.reg.counters {
 		if strings.HasPrefix(name, s.prefix) {
@@ -201,16 +255,23 @@ func (s *Stats) Snapshot() Snapshot {
 			sn.floats[name] = f.v
 		}
 	}
+	for name, h := range s.reg.hists {
+		if strings.HasPrefix(name, s.prefix) {
+			sn.hists[name] = *h
+		}
+	}
 	return sn
 }
 
 // Delta returns the per-metric change since snap, as a new Snapshot whose
 // values are current-minus-snapshotted. Counters registered after snap was
-// taken delta against zero.
+// taken delta against zero. Like Snapshot, Delta reads the live registry
+// and must run on the run's own goroutine.
 func (s *Stats) Delta(snap Snapshot) Snapshot {
 	d := Snapshot{
 		counters: make(map[string]uint64, len(s.reg.counters)),
 		floats:   make(map[string]float64, len(s.reg.floats)),
+		hists:    make(map[string]Histogram, len(s.reg.hists)),
 	}
 	for name, c := range s.reg.counters {
 		if strings.HasPrefix(name, s.prefix) {
@@ -220,6 +281,11 @@ func (s *Stats) Delta(snap Snapshot) Snapshot {
 	for name, f := range s.reg.floats {
 		if strings.HasPrefix(name, s.prefix) {
 			d.floats[name] = f.v - snap.floats[name]
+		}
+	}
+	for name, h := range s.reg.hists {
+		if strings.HasPrefix(name, s.prefix) {
+			d.hists[name] = h.delta(snap.hists[name])
 		}
 	}
 	return d
@@ -239,6 +305,18 @@ func (sn Snapshot) DeltaOf(c *Counter) uint64 { return c.v - sn.counters[c.name]
 // DeltaOfFloat returns how much accumulator f has advanced since the
 // snapshot was taken.
 func (sn Snapshot) DeltaOfFloat(f *FloatAccum) float64 { return f.v - sn.floats[f.name] }
+
+// DeltaOfHist returns the bucket-wise advance of histogram h since the
+// snapshot was taken, as a standalone Histogram whose summaries describe
+// just that window. Histograms registered after the snapshot delta against
+// an empty histogram.
+func (sn Snapshot) DeltaOfHist(h *Histogram) Histogram { return h.delta(sn.hists[h.name]) }
+
+// Hist returns the snapshotted copy of a fully-qualified histogram name.
+func (sn Snapshot) Hist(name string) (Histogram, bool) {
+	h, ok := sn.hists[name]
+	return h, ok
+}
 
 // Ratio returns num/den as a float, or 0 when den is zero.
 func Ratio(num, den uint64) float64 {
