@@ -15,7 +15,6 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
@@ -29,7 +28,8 @@ func main() {
 	workloadFile := flag.String("workload-file", "", "JSON file with a custom workload definition")
 	traceFile := flag.String("trace-file", "", "replay a recorded trace file (see cmd/tracegen -replay)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
-	design := flag.String("design", "Baryon", "Simple|UnisonCache|DICE|Baryon|Baryon-64B|Baryon-FA|Hybrid2")
+	design := flag.String("design", "Baryon", "design name (built-in or loaded via -design-file)")
+	designFile := flag.String("design-file", "", "JSON DesignSpec file defining a custom design (runs it unless -design overrides)")
 	mode := flag.String("mode", "cache", "cache|flat")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
 	warmup := flag.Int("warmup", 0, "warmup accesses per core before measurement (0 = cold start)")
@@ -52,11 +52,26 @@ func main() {
 		return
 	}
 
+	// A custom design from -design-file joins the registry before any name
+	// validation; unless -design was set explicitly, it is also the design
+	// that runs.
+	if *designFile != "" {
+		spec, err := experiment.LoadSpecFile(*designFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading design file: %v\n", err)
+			os.Exit(2)
+		}
+		designSet := false
+		flag.Visit(func(f *flag.Flag) { designSet = designSet || f.Name == "design" })
+		if !designSet {
+			*design = spec.Name
+		}
+	}
+
 	// Validate choice flags up front so a typo fails with a usage message
 	// instead of a zero-value run or a late panic.
 	if !experiment.IsDesign(*design) {
-		fmt.Fprintf(os.Stderr, "unknown design %q; valid designs: %s\n",
-			*design, strings.Join(experiment.Designs(), ", "))
+		fmt.Fprintln(os.Stderr, experiment.UnknownDesignError(*design))
 		os.Exit(2)
 	}
 	if *mode != "cache" && *mode != "flat" {

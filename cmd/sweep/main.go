@@ -22,6 +22,8 @@ import (
 func main() {
 	designs := flag.String("designs", "Simple,UnisonCache,DICE,Baryon-64B,Baryon",
 		"comma-separated design list")
+	designFiles := flag.String("design-files", "",
+		"comma-separated JSON DesignSpec files; loaded designs are appended to the sweep")
 	workloads := flag.String("workloads", "", "comma-separated workload list (default: all)")
 	mode := flag.String("mode", "cache", "cache|flat")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
@@ -59,11 +61,20 @@ func main() {
 	for _, d := range strings.Split(*designs, ",") {
 		d = strings.TrimSpace(d)
 		if !experiment.IsDesign(d) {
-			fmt.Fprintf(os.Stderr, "unknown design %q (known: %s)\n",
-				d, strings.Join(experiment.Designs(), ", "))
+			fmt.Fprintln(os.Stderr, experiment.UnknownDesignError(d))
 			os.Exit(2)
 		}
 		ds = append(ds, d)
+	}
+	if *designFiles != "" {
+		for _, path := range strings.Split(*designFiles, ",") {
+			spec, err := experiment.LoadSpecFile(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loading design file: %v\n", err)
+				os.Exit(2)
+			}
+			ds = append(ds, spec.Name)
+		}
 	}
 
 	var seedList []uint64

@@ -22,32 +22,30 @@ import (
 // groups cf adjacent lines into one slot at index (line-address / cf).
 // A hit on a compressed slot decodes up to four lines per 64 B transfer,
 // which become free memory-to-LLC prefetches — DICE's bandwidth benefit.
+//
+// On the kit, DICE is the direct-mapped special case: a Dir with one way
+// per set, keyed by the compression-run id (the CF-dependent index).
 type DICE struct {
-	fast, slow *mem.Device
-	store      *hybrid.Store
-	stats      *sim.Stats
-	comp       *compress.Compressor
+	eng   *hybrid.Engine
+	store *hybrid.Store
+	stats *sim.Stats
+	comp  *compress.Compressor
 
-	slots             []diceSlot
+	dir               *hybrid.Dir[diceSlot]
 	cfCache           map[uint64]uint8 // group -> current CF (the CF predictor)
 	decompressLatency uint64
 
 	accesses, hits, misses, writebacks *sim.Counter
 	servedFast, decompressions         *sim.Counter
-	hooks                              obsHooks
 }
 
 // SetTracer attaches a request-lifecycle tracer (nil detaches).
-func (d *DICE) SetTracer(t *obs.Tracer) {
-	d.hooks.tracer = t
-	d.fast.SetTracer(t)
-	d.slow.SetTracer(t)
-}
+func (d *DICE) SetTracer(t *obs.Tracer) { d.eng.SetTracer(t) }
 
+// diceSlot is the directory payload of one direct-mapped slot; the run id
+// lives in the way's Key.
 type diceSlot struct {
-	run     uint64 // run id: (lineIndex / cf), with cf encoded below
 	cf      uint8
-	valid   bool
 	present uint8 // bitmask of the run's lines actually present (cf wide)
 	dirty   uint8
 }
@@ -57,12 +55,11 @@ func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompress
 	d := &DICE{
 		store: store, stats: stats,
 		comp:              compress.New(true),
-		fast:              mem.NewDevice(mem.DDR4Config(), stats),
-		slow:              mem.NewDevice(mem.NVMConfig(), stats),
+		eng:               hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
+		dir:               hybrid.NewDirSets[diceSlot](fastBytes/hybrid.CachelineSize, 1),
 		cfCache:           make(map[uint64]uint8),
 		decompressLatency: decompressLatency,
 	}
-	d.slots = make([]diceSlot, fastBytes/hybrid.CachelineSize)
 	cstats := stats.Scope("dice")
 	d.accesses = cstats.Counter("accesses")
 	d.hits = cstats.Counter("hits")
@@ -70,7 +67,8 @@ func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompress
 	d.writebacks = cstats.Counter("writebacks")
 	d.servedFast = cstats.Counter("servedFast")
 	d.decompressions = cstats.Counter("decompressions")
-	d.hooks = newObsHooks(cstats)
+	d.eng.CountWritebacks(d.writebacks)
+	d.eng.InstrumentLatency(cstats)
 	return d
 }
 
@@ -81,10 +79,10 @@ func (d *DICE) Name() string { return "DICE" }
 func (d *DICE) Stats() *sim.Stats { return d.stats }
 
 // FastDevice returns the DDR4 device model.
-func (d *DICE) FastDevice() *mem.Device { return d.fast }
+func (d *DICE) FastDevice() *mem.Device { return d.eng.Fast() }
 
 // SlowDevice returns the NVM device model.
-func (d *DICE) SlowDevice() *mem.Device { return d.slow }
+func (d *DICE) SlowDevice() *mem.Device { return d.eng.Slow() }
 
 // groupCF computes (and caches) the quantised CF of the 4-line group.
 func (d *DICE) groupCF(group uint64) uint8 {
@@ -105,11 +103,12 @@ func (d *DICE) groupCF(group uint64) uint8 {
 	return cf
 }
 
-// slotFor returns the slot and run id for a line at the group's CF.
-func (d *DICE) slotFor(lineIdx uint64, cf uint8) (*diceSlot, uint64, uint64) {
+// slotFor returns the slot halves and run id for a line at the group's CF.
+func (d *DICE) slotFor(lineIdx uint64, cf uint8) (*hybrid.WayMeta, *diceSlot, uint64, uint64) {
 	run := lineIdx / uint64(cf)
-	idx := run % uint64(len(d.slots))
-	return &d.slots[idx], run, idx * 64
+	si := d.dir.SetIndex(run)
+	meta, slot := d.dir.Way(si, 0)
+	return meta, slot, run, uint64(si) * 64
 }
 
 // Access implements hybrid.Controller.
@@ -118,14 +117,14 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 	lineIdx := addr / 64
 	group := addr / 256
 	cf := d.groupCF(group)
-	slot, run, slotAddr := d.slotFor(lineIdx, cf)
+	meta, slot, run, slotAddr := d.slotFor(lineIdx, cf)
 	within := uint8(lineIdx % uint64(cf))
 
 	if write {
 		d.store.WriteLine(addr, data)
 	}
 
-	if slot.valid && slot.run == run && slot.cf == cf && slot.present&(1<<within) != 0 {
+	if meta.Valid && meta.Key == run && slot.cf == cf && slot.present&(1<<within) != 0 {
 		d.hits.Inc()
 		if write {
 			// The write may change the group's compressibility; with the
@@ -134,22 +133,22 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 			delete(d.cfCache, group)
 			newCF := d.groupCF(group)
 			if newCF != cf {
-				d.writebackSlot(now, slot)
-				slot.valid = false
+				d.writebackSlot(now, meta, slot)
+				meta.Valid = false
 				d.installRun(now, lineIdx, newCF, true)
 			} else {
 				slot.dirty |= 1 << within
 			}
-			d.fast.AccessBackground(now, slotAddr, 64, true)
+			d.eng.FillFast(now, slotAddr, 64)
 			return hybrid.Result{Done: now}
 		}
-		done := d.fast.Access(now, slotAddr, 64, false)
+		done := d.eng.FastRead(now, slotAddr, 64)
 		if cf > 1 {
 			done += d.decompressLatency
 			d.decompressions.Inc()
 		}
 		d.servedFast.Inc()
-		d.hooks.observeFast(now, done, "hit")
+		d.eng.ObserveFast(now, done, "hit")
 		res := hybrid.Result{Done: done, ServedByFast: true, Data: d.store.Line(addr)}
 		base := run * uint64(cf) * 64
 		for l := uint8(0); l < cf; l++ {
@@ -165,13 +164,13 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 	// Miss: tag-and-data units live in DRAM, so discovering the miss costs
 	// one fast probe; then serve from slow memory and install the run.
 	d.misses.Inc()
-	probe := d.fast.Access(now, slotAddr, 64, false)
+	probe := d.eng.FastRead(now, slotAddr, 64)
 	var res hybrid.Result
 	if write {
 		res = hybrid.Result{Done: now}
 	} else {
-		done := d.slow.Access(probe, addr, 64, false)
-		d.hooks.observeSlow(now, done, "miss")
+		done := d.eng.SlowRead(probe, addr, 64)
+		d.eng.ObserveSlow(now, done, "miss")
 		res = hybrid.Result{Done: done, Data: d.store.Line(addr)}
 	}
 	d.installRun(now, lineIdx, cf, write)
@@ -181,10 +180,10 @@ func (d *DICE) Access(now uint64, addr uint64, write bool, data []byte) hybrid.R
 // installRun installs the compressed run containing lineIdx, evicting any
 // dirty occupant of the slot.
 func (d *DICE) installRun(now uint64, lineIdx uint64, cf uint8, write bool) {
-	slot, run, slotAddr := d.slotFor(lineIdx, cf)
+	meta, slot, run, slotAddr := d.slotFor(lineIdx, cf)
 	within := uint8(lineIdx % uint64(cf))
-	if slot.valid && (slot.run != run || slot.cf != cf) {
-		d.writebackSlot(now, slot)
+	if meta.Valid && (meta.Key != run || slot.cf != cf) {
+		d.writebackSlot(now, meta, slot)
 	}
 	var present uint8
 	for l := uint8(0); l < cf; l++ {
@@ -192,28 +191,28 @@ func (d *DICE) installRun(now uint64, lineIdx uint64, cf uint8, write bool) {
 	}
 	// One extra burst brings the rest of the compressed run.
 	if cf > 1 {
-		d.slow.AccessBackground(now, run*uint64(cf)*64, 64, false)
+		d.eng.FetchSlow(now, run*uint64(cf)*64, 64)
 	}
-	d.fast.AccessBackground(now, slotAddr, 64, true)
-	ns := diceSlot{run: run, cf: cf, valid: true, present: present}
+	d.eng.FillFast(now, slotAddr, 64)
+	*meta = hybrid.WayMeta{Key: run, Valid: true}
+	ns := diceSlot{cf: cf, present: present}
 	if write {
 		ns.dirty = 1 << within
 	}
 	*slot = ns
 }
 
-func (d *DICE) writebackSlot(now uint64, slot *diceSlot) {
-	if !slot.valid || slot.dirty == 0 {
+func (d *DICE) writebackSlot(now uint64, meta *hybrid.WayMeta, slot *diceSlot) {
+	if !meta.Valid || slot.dirty == 0 {
 		return
 	}
-	d.writebacks.Inc()
 	n := uint64(0)
 	for l := uint8(0); l < 4; l++ {
 		if slot.dirty&(1<<l) != 0 {
 			n++
 		}
 	}
-	d.slow.AccessBackground(now, slot.run*uint64(slot.cf)*64, n*64, true)
+	d.eng.Writeback(now, meta.Key*uint64(slot.cf)*64, n*64)
 	slot.dirty = 0
 }
 

@@ -17,9 +17,9 @@ import (
 // software-paced adaptation with per-migration overheads (page copy plus
 // TLB shootdown and kernel work).
 type OSPaging struct {
-	fast, slow *mem.Device
-	store      *hybrid.Store
-	stats      *sim.Stats
+	eng   *hybrid.Engine
+	store *hybrid.Store
+	stats *sim.Stats
 
 	fastPages int // capacity of the fast tier in 4 kB pages
 
@@ -36,15 +36,10 @@ type OSPaging struct {
 	migPenalty uint64 // cycles of software overhead per migrated page
 
 	hits, misses, migrations, writebacks *sim.Counter
-	hooks                                obsHooks
 }
 
 // SetTracer attaches a request-lifecycle tracer (nil detaches).
-func (o *OSPaging) SetTracer(t *obs.Tracer) {
-	o.hooks.tracer = t
-	o.fast.SetTracer(t)
-	o.slow.SetTracer(t)
-}
+func (o *OSPaging) SetTracer(t *obs.Tracer) { o.eng.SetTracer(t) }
 
 // osPageSize is the migration granularity (4 kB OS pages = 2 blocks).
 const osPageSize = 4096
@@ -62,8 +57,7 @@ const (
 // NewOSPaging builds the OS-managed baseline with fastBytes of fast memory.
 func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPaging {
 	o := &OSPaging{
-		fast:       mem.NewDevice(mem.DDR4Config(), stats),
-		slow:       mem.NewDevice(mem.NVMConfig(), stats),
+		eng:        hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
 		store:      store,
 		stats:      stats,
 		fastPages:  int(fastBytes / osPageSize),
@@ -78,7 +72,8 @@ func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPag
 	o.misses = cstats.Counter("misses")
 	o.migrations = cstats.Counter("migrations")
 	o.writebacks = cstats.Counter("writebacks")
-	o.hooks = newObsHooks(cstats)
+	o.eng.CountWritebacks(o.writebacks)
+	o.eng.InstrumentLatency(cstats)
 	return o
 }
 
@@ -89,10 +84,10 @@ func (o *OSPaging) Name() string { return "OSPaging" }
 func (o *OSPaging) Stats() *sim.Stats { return o.stats }
 
 // FastDevice returns the DDR4 device model.
-func (o *OSPaging) FastDevice() *mem.Device { return o.fast }
+func (o *OSPaging) FastDevice() *mem.Device { return o.eng.Fast() }
 
 // SlowDevice returns the NVM device model.
-func (o *OSPaging) SlowDevice() *mem.Device { return o.slow }
+func (o *OSPaging) SlowDevice() *mem.Device { return o.eng.Slow() }
 
 // Access implements hybrid.Controller.
 func (o *OSPaging) Access(now uint64, addr uint64, write bool, data []byte) hybrid.Result {
@@ -114,21 +109,21 @@ func (o *OSPaging) Access(now uint64, addr uint64, write bool, data []byte) hybr
 		o.hits.Inc()
 		if write {
 			o.dirty[page] = true
-			o.fast.AccessBackground(issue, page*osPageSize%uint64(o.fastPages*osPageSize)+addr%osPageSize, 64, true)
+			o.eng.FillFast(issue, page*osPageSize%uint64(o.fastPages*osPageSize)+addr%osPageSize, 64)
 			res = hybrid.Result{Done: now}
 		} else {
-			done := o.fast.Access(issue, page*osPageSize%uint64(o.fastPages*osPageSize)+addr%osPageSize, 64, false)
-			o.hooks.observeFast(now, done, "pageHit")
+			done := o.eng.FastRead(issue, page*osPageSize%uint64(o.fastPages*osPageSize)+addr%osPageSize, 64)
+			o.eng.ObserveFast(now, done, "pageHit")
 			res = hybrid.Result{Done: done, ServedByFast: true, Data: o.store.Line(addr)}
 		}
 	} else {
 		o.misses.Inc()
 		if write {
-			o.slow.AccessBackground(issue, addr, 64, true)
+			o.eng.WriteSlowBG(issue, addr, 64)
 			res = hybrid.Result{Done: now}
 		} else {
-			done := o.slow.Access(issue, addr, 64, false)
-			o.hooks.observeSlow(now, done, "pageMiss")
+			done := o.eng.SlowRead(issue, addr, 64)
+			o.eng.ObserveSlow(now, done, "pageMiss")
 			res = hybrid.Result{Done: done, Data: o.store.Line(addr)}
 		}
 	}
@@ -191,15 +186,14 @@ func (o *OSPaging) epoch(now uint64) {
 			evictIdx++
 			delete(o.inFast, victim)
 			if o.dirty[victim] {
-				o.writebacks.Inc()
-				o.slow.AccessBackground(now, victim*osPageSize, osPageSize, true)
+				o.eng.Writeback(now, victim*osPageSize, osPageSize)
 				delete(o.dirty, victim)
 			}
 		}
 		o.inFast[cand.page] = true
 		o.migrations.Inc()
-		o.slow.AccessBackground(now, cand.page*osPageSize, osPageSize, false)
-		o.fast.AccessBackground(now, cand.page*osPageSize%uint64(o.fastPages*osPageSize), osPageSize, true)
+		o.eng.FetchSlow(now, cand.page*osPageSize, osPageSize)
+		o.eng.FillFast(now, cand.page*osPageSize%uint64(o.fastPages*osPageSize), osPageSize)
 		migrated++
 	}
 	// Software overhead: TLB shootdowns and kernel bookkeeping serialise

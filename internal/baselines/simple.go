@@ -9,7 +9,11 @@
 //
 // The baseline controllers have no data-layout transformations, so they use
 // the canonical store directly as their data plane and track presence and
-// dirtiness for timing and traffic only.
+// dirtiness for timing and traffic only. All of them are built on the
+// shared controller kit of package hybrid: the set-associative directory
+// (hybrid.Dir), the replacement policies (hybrid.Replacer) and the
+// migration/writeback engine with its instrumentation middleware
+// (hybrid.Engine).
 package baselines
 
 import (
@@ -22,55 +26,43 @@ import (
 // Simple is the paper's Simple DRAM cache baseline: 2 kB blocks, 4-way
 // set-associative, LRU, whole-block fills and writebacks.
 type Simple struct {
-	fast, slow *mem.Device
-	store      *hybrid.Store
-	stats      *sim.Stats
+	eng   *hybrid.Engine
+	store *hybrid.Store
+	stats *sim.Stats
 
-	sets  []simpleSet
+	dir   *hybrid.Dir[simpleWay]
+	rep   hybrid.Replacer
 	assoc int
 	seq   uint64
 
 	accesses, hits, misses, writebacks *sim.Counter
 	servedFast                         *sim.Counter
 	metaLatency                        uint64
-	hooks                              obsHooks
+}
+
+// simpleWay is the directory payload: the Simple cache only tracks block
+// dirtiness beyond the kit's tag metadata.
+type simpleWay struct {
+	dirty bool
 }
 
 // SetTracer attaches a request-lifecycle tracer (nil detaches).
-func (s *Simple) SetTracer(t *obs.Tracer) {
-	s.hooks.tracer = t
-	s.fast.SetTracer(t)
-	s.slow.SetTracer(t)
-}
+func (s *Simple) SetTracer(t *obs.Tracer) { s.eng.SetTracer(t) }
 
-type simpleSet struct {
-	ways []simpleWay
-}
-
-type simpleWay struct {
-	block   uint64
-	valid   bool
-	dirty   bool
-	lastUse uint64
-}
+// SetReplacer overrides the replacement policy (default LRU). Intended for
+// DesignSpec policy knobs; call before the first access.
+func (s *Simple) SetReplacer(r hybrid.Replacer) { s.rep = r }
 
 // NewSimple builds the Simple baseline with fastBlocks block frames at the
 // given associativity over an osBlocks physical space.
 func NewSimple(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Stats) *Simple {
 	s := &Simple{
 		store: store, stats: stats, assoc: assoc,
-		fast: mem.NewDevice(mem.DDR4Config(), stats),
-		slow: mem.NewDevice(mem.NVMConfig(), stats),
+		eng: hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
+		dir: hybrid.NewDir[simpleWay](fastBlocks, assoc),
+		rep: hybrid.LRU{},
 		// Remap metadata lookup (on-chip remap cache path).
 		metaLatency: 3,
-	}
-	nsets := fastBlocks / uint64(assoc)
-	if nsets == 0 {
-		nsets = 1
-	}
-	s.sets = make([]simpleSet, nsets)
-	for i := range s.sets {
-		s.sets[i] = simpleSet{ways: make([]simpleWay, assoc)}
 	}
 	cstats := stats.Scope("simple")
 	s.accesses = cstats.Counter("accesses")
@@ -78,7 +70,8 @@ func NewSimple(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	s.misses = cstats.Counter("misses")
 	s.writebacks = cstats.Counter("writebacks")
 	s.servedFast = cstats.Counter("servedFast")
-	s.hooks = newObsHooks(cstats)
+	s.eng.CountWritebacks(s.writebacks)
+	s.eng.InstrumentLatency(cstats)
 	return s
 }
 
@@ -89,37 +82,35 @@ func (s *Simple) Name() string { return "Simple" }
 func (s *Simple) Stats() *sim.Stats { return s.stats }
 
 // FastDevice returns the DDR4 device model.
-func (s *Simple) FastDevice() *mem.Device { return s.fast }
+func (s *Simple) FastDevice() *mem.Device { return s.eng.Fast() }
 
 // SlowDevice returns the NVM device model.
-func (s *Simple) SlowDevice() *mem.Device { return s.slow }
+func (s *Simple) SlowDevice() *mem.Device { return s.eng.Slow() }
 
 // Access implements hybrid.Controller.
 func (s *Simple) Access(now uint64, addr uint64, write bool, data []byte) hybrid.Result {
 	s.seq++
 	s.accesses.Inc()
 	block := addr / hybrid.BlockSize
-	set := &s.sets[block%uint64(len(s.sets))]
+	si := s.dir.SetIndex(block)
 
 	if write {
 		s.store.WriteLine(addr, data)
 	}
 
-	for w := range set.ways {
-		way := &set.ways[w]
-		if way.valid && way.block == block {
-			s.hits.Inc()
-			way.lastUse = s.seq
-			if write {
-				way.dirty = true
-				s.fast.AccessBackground(now, s.frameAddr(block, w), 64, true)
-				return hybrid.Result{Done: now}
-			}
-			done := s.fast.Access(now+s.metaLatency, s.frameAddr(block, w), 64, false)
-			s.servedFast.Inc()
-			s.hooks.observeFast(now, done, "hit")
-			return hybrid.Result{Done: done, ServedByFast: true, Data: s.store.Line(addr)}
+	if w := s.dir.Lookup(si, block); w >= 0 {
+		meta, way := s.dir.Way(si, w)
+		s.hits.Inc()
+		meta.LastUse = s.seq
+		if write {
+			way.dirty = true
+			s.eng.FillFast(now, s.frameAddr(block, w), 64)
+			return hybrid.Result{Done: now}
 		}
+		done := s.eng.FastRead(now+s.metaLatency, s.frameAddr(block, w), 64)
+		s.servedFast.Inc()
+		s.eng.ObserveFast(now, done, "hit")
+		return hybrid.Result{Done: done, ServedByFast: true, Data: s.store.Line(addr)}
 	}
 	s.misses.Inc()
 
@@ -127,37 +118,28 @@ func (s *Simple) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 	var res hybrid.Result
 	if write {
 		res = hybrid.Result{Done: now}
-		s.slow.AccessBackground(now, addr, 64, true)
+		s.eng.WriteSlowBG(now, addr, 64)
 	} else {
-		done := s.slow.Access(now+s.metaLatency, addr, 64, false)
-		s.hooks.observeSlow(now, done, "miss")
+		done := s.eng.SlowRead(now+s.metaLatency, addr, 64)
+		s.eng.ObserveSlow(now, done, "miss")
 		res = hybrid.Result{Done: done, Data: s.store.Line(addr)}
 	}
 
-	// Background: fill the whole 2 kB block, evicting the LRU way.
-	victim := 0
-	for w := range set.ways {
-		if !set.ways[w].valid {
-			victim = w
-			break
-		}
-		if set.ways[w].lastUse < set.ways[victim].lastUse {
-			victim = w
-		}
+	// Background: fill the whole 2 kB block, evicting the policy's victim.
+	victim := s.dir.Victim(si, s.rep)
+	meta, way := s.dir.Way(si, victim)
+	if meta.Valid && way.dirty {
+		s.eng.Writeback(now, meta.Key*hybrid.BlockSize, hybrid.BlockSize)
 	}
-	v := &set.ways[victim]
-	if v.valid && v.dirty {
-		s.writebacks.Inc()
-		s.slow.AccessBackground(now, v.block*hybrid.BlockSize, hybrid.BlockSize, true)
-	}
-	s.slow.AccessBackground(now, block*hybrid.BlockSize, hybrid.BlockSize, false)
-	s.fast.AccessBackground(now, s.frameAddr(block, victim), hybrid.BlockSize, true)
-	*v = simpleWay{block: block, valid: true, dirty: write, lastUse: s.seq}
+	s.eng.FetchSlow(now, block*hybrid.BlockSize, hybrid.BlockSize)
+	s.eng.FillFast(now, s.frameAddr(block, victim), hybrid.BlockSize)
+	*meta = hybrid.WayMeta{Key: block, Valid: true, LastUse: s.seq}
+	*way = simpleWay{dirty: write}
 	return res
 }
 
 func (s *Simple) frameAddr(block uint64, way int) uint64 {
-	return (block%uint64(len(s.sets)))*uint64(s.assoc)*hybrid.BlockSize + uint64(way)*hybrid.BlockSize
+	return (block%s.dir.Sets())*uint64(s.assoc)*hybrid.BlockSize + uint64(way)*hybrid.BlockSize
 }
 
 // PeekLine implements hybrid.DataPeeker (the store is always current).

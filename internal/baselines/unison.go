@@ -20,12 +20,13 @@ import (
 //     and data together when the way predictor is right, and an extra access
 //     when it is wrong.
 type Unison struct {
-	fast, slow *mem.Device
-	store      *hybrid.Store
-	stats      *sim.Stats
-	rng        *sim.RNG
+	eng   *hybrid.Engine
+	store *hybrid.Store
+	stats *sim.Stats
+	rng   *sim.RNG
 
-	sets  []unisonSet
+	dir   *hybrid.Dir[unisonWay]
+	rep   hybrid.Replacer
 	assoc int
 	seq   uint64
 
@@ -40,28 +41,22 @@ type Unison struct {
 
 	accesses, blockHits, subHits, subMisses, blockMisses *sim.Counter
 	wayMispredicts, writebacks, servedFast               *sim.Counter
-	hooks                                                obsHooks
 }
 
 // SetTracer attaches a request-lifecycle tracer (nil detaches).
-func (u *Unison) SetTracer(t *obs.Tracer) {
-	u.hooks.tracer = t
-	u.fast.SetTracer(t)
-	u.slow.SetTracer(t)
-}
+func (u *Unison) SetTracer(t *obs.Tracer) { u.eng.SetTracer(t) }
 
-type unisonSet struct {
-	ways []unisonWay
-}
+// SetReplacer overrides the replacement policy (default LRU). Intended for
+// DesignSpec policy knobs; call before the first access.
+func (u *Unison) SetReplacer(r hybrid.Replacer) { u.rep = r }
 
+// unisonWay is the directory payload: sub-block presence/dirty/footprint
+// bitmaps plus the class-history key.
 type unisonWay struct {
-	block    uint64
-	valid    bool
 	present  uint32 // 64 B sub-blocks present (32 per 2 kB block)
 	dirty    uint32
 	accessed uint32 // observed footprint for history update
 	firstSub uint8  // first-touched sub (class-history key)
-	lastUse  uint64
 }
 
 // wayPredictAccuracy is the optimistic way-predictor hit rate the paper
@@ -75,18 +70,11 @@ const unisonSub = 64
 func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Stats, seed uint64) *Unison {
 	u := &Unison{
 		store: store, stats: stats, assoc: assoc,
-		fast:    mem.NewDevice(mem.DDR4Config(), stats),
-		slow:    mem.NewDevice(mem.NVMConfig(), stats),
+		eng:     hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
+		dir:     hybrid.NewDir[unisonWay](fastBlocks, assoc),
+		rep:     hybrid.LRU{},
 		rng:     sim.NewRNG(seed ^ 0x0550A11),
 		history: make(map[uint64]uint32),
-	}
-	nsets := fastBlocks / uint64(assoc)
-	if nsets == 0 {
-		nsets = 1
-	}
-	u.sets = make([]unisonSet, nsets)
-	for i := range u.sets {
-		u.sets[i] = unisonSet{ways: make([]unisonWay, assoc)}
 	}
 	cstats := stats.Scope("unison")
 	u.accesses = cstats.Counter("accesses")
@@ -97,7 +85,8 @@ func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 	u.wayMispredicts = cstats.Counter("wayMispredicts")
 	u.writebacks = cstats.Counter("writebacks")
 	u.servedFast = cstats.Counter("servedFast")
-	u.hooks = newObsHooks(cstats)
+	u.eng.CountWritebacks(u.writebacks)
+	u.eng.InstrumentLatency(cstats)
 	return u
 }
 
@@ -108,10 +97,10 @@ func (u *Unison) Name() string { return "UnisonCache" }
 func (u *Unison) Stats() *sim.Stats { return u.stats }
 
 // FastDevice returns the DDR4 device model.
-func (u *Unison) FastDevice() *mem.Device { return u.fast }
+func (u *Unison) FastDevice() *mem.Device { return u.eng.Fast() }
 
 // SlowDevice returns the NVM device model.
-func (u *Unison) SlowDevice() *mem.Device { return u.slow }
+func (u *Unison) SlowDevice() *mem.Device { return u.eng.Slow() }
 
 func (u *Unison) frameAddr(set uint64, way int) uint64 {
 	return (set*uint64(u.assoc) + uint64(way)) * hybrid.BlockSize
@@ -123,20 +112,17 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 	u.accesses.Inc()
 	block := addr / hybrid.BlockSize
 	sub := uint(addr % hybrid.BlockSize / unisonSub)
-	setIdx := block % uint64(len(u.sets))
-	set := &u.sets[setIdx]
+	si := u.dir.SetIndex(block)
+	setIdx := uint64(si)
 
 	if write {
 		u.store.WriteLine(addr, data)
 	}
 
-	for w := range set.ways {
-		way := &set.ways[w]
-		if !way.valid || way.block != block {
-			continue
-		}
+	if w := u.dir.Lookup(si, block); w >= 0 {
+		meta, way := u.dir.Way(si, w)
 		u.blockHits.Inc()
-		way.lastUse = u.seq
+		meta.LastUse = u.seq
 		way.accessed |= 1 << sub
 		if way.present&(1<<sub) != 0 {
 			u.subHits.Inc()
@@ -145,16 +131,16 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 			t := now
 			if !u.rng.Bool(wayPredictAccuracy) {
 				u.wayMispredicts.Inc()
-				t = u.fast.Access(t, u.frameAddr(setIdx, w), 64, false)
+				t = u.eng.FastRead(t, u.frameAddr(setIdx, w), 64)
 			}
 			if write {
 				way.dirty |= 1 << sub
-				u.fast.AccessBackground(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+				u.eng.FillFast(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64)
 				return hybrid.Result{Done: now}
 			}
-			done := u.fast.Access(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, false)
+			done := u.eng.FastRead(t, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64)
 			u.servedFast.Inc()
-			u.hooks.observeFast(now, done, "subHit")
+			u.eng.ObserveFast(now, done, "subHit")
 			return hybrid.Result{Done: done, ServedByFast: true, Data: u.store.Line(addr)}
 		}
 		// Sub-block miss within an allocated block: fetch just the sub.
@@ -165,46 +151,36 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 		u.classHistory[way.firstSub] = way.accessed
 		if write {
 			way.dirty |= 1 << sub
-			u.fast.AccessBackground(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+			u.eng.FillFast(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64)
 			return hybrid.Result{Done: now}
 		}
-		done := u.slow.Access(now, addr, 64, false)
-		u.hooks.observeSlow(now, done, "subMiss")
-		u.fast.AccessBackground(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64, true)
+		done := u.eng.SlowRead(now, addr, 64)
+		u.eng.ObserveSlow(now, done, "subMiss")
+		u.eng.FillFast(now, u.frameAddr(setIdx, w)+uint64(sub)*unisonSub, 64)
 		return hybrid.Result{Done: done, Data: u.store.Line(addr)}
 	}
 
 	// Block miss: tags are embedded in DRAM, so discovering the miss costs
 	// one fast-memory probe; then allocate with the predicted footprint.
 	u.blockMisses.Inc()
-	probe := u.fast.Access(now, u.frameAddr(setIdx, 0), 64, false)
+	probe := u.eng.FastRead(now, u.frameAddr(setIdx, 0), 64)
 	var res hybrid.Result
 	if write {
 		res = hybrid.Result{Done: now}
 	} else {
-		done := u.slow.Access(probe, addr, 64, false)
-		u.hooks.observeSlow(now, done, "blockMiss")
+		done := u.eng.SlowRead(probe, addr, 64)
+		u.eng.ObserveSlow(now, done, "blockMiss")
 		res = hybrid.Result{Done: done, Data: u.store.Line(addr)}
 	}
 
-	victim := 0
-	for w := range set.ways {
-		if !set.ways[w].valid {
-			victim = w
-			break
-		}
-		if set.ways[w].lastUse < set.ways[victim].lastUse {
-			victim = w
-		}
-	}
-	v := &set.ways[victim]
-	if v.valid {
+	victim := u.dir.Victim(si, u.rep)
+	vm, vw := u.dir.Way(si, victim)
+	if vm.Valid {
 		// Update both history levels and write dirty sub-blocks back.
-		u.history[v.block] = v.accessed
-		u.classHistory[v.firstSub] = v.accessed
-		if v.dirty != 0 {
-			u.writebacks.Inc()
-			u.slow.AccessBackground(now, v.block*hybrid.BlockSize, uint64(bits.OnesCount32(v.dirty))*unisonSub, true)
+		u.history[vm.Key] = vw.accessed
+		u.classHistory[vw.firstSub] = vw.accessed
+		if vw.dirty != 0 {
+			u.eng.Writeback(now, vm.Key*hybrid.BlockSize, uint64(bits.OnesCount32(vw.dirty))*unisonSub)
 		}
 	}
 
@@ -214,17 +190,15 @@ func (u *Unison) Access(now uint64, addr uint64, write bool, data []byte) hybrid
 	}
 	footprint |= 1 << sub
 	n := uint64(bits.OnesCount32(footprint))
-	u.slow.AccessBackground(now, block*hybrid.BlockSize, n*unisonSub, false)
-	u.fast.AccessBackground(now, u.frameAddr(setIdx, victim), n*unisonSub, true)
+	u.eng.FetchSlow(now, block*hybrid.BlockSize, n*unisonSub)
+	u.eng.FillFast(now, u.frameAddr(setIdx, victim), n*unisonSub)
 	// Tags and footprint metadata are embedded in DRAM: allocations update
 	// them with an extra write (Unison's tag-update bandwidth).
-	u.fast.AccessBackground(now, u.frameAddr(setIdx, victim), 64, true)
-	set.ways[victim] = unisonWay{
-		block: block, valid: true,
-		present: footprint, accessed: 1 << sub, firstSub: uint8(sub), lastUse: u.seq,
-	}
+	u.eng.FillFast(now, u.frameAddr(setIdx, victim), 64)
+	*vm = hybrid.WayMeta{Key: block, Valid: true, LastUse: u.seq}
+	*vw = unisonWay{present: footprint, accessed: 1 << sub, firstSub: uint8(sub)}
 	if write {
-		set.ways[victim].dirty = 1 << sub
+		vw.dirty = 1 << sub
 	}
 	return res
 }

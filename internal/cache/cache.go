@@ -19,17 +19,18 @@ type Config struct {
 	Latency uint64 // access latency in cycles
 }
 
-type entry struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	lastUse uint64
+// cacheLine is the per-way payload in the kit's tag directory; the line
+// address, valid bit and LRU rank live in the directory's WayMeta.
+type cacheLine struct {
+	dirty bool
 }
 
-// Cache is one set-associative, LRU, write-back cache level.
+// Cache is one set-associative, LRU, write-back cache level on the shared
+// controller-kit directory (hybrid.Dir + hybrid.LRU).
 type Cache struct {
 	cfg  Config
-	sets [][]entry
+	dir  *hybrid.Dir[cacheLine]
+	rep  hybrid.Replacer
 	tick uint64
 
 	hits, misses *sim.Counter
@@ -39,10 +40,10 @@ type Cache struct {
 // level's name scope. A config with an empty Name registers bare
 // "hits"/"misses", for callers that hand in an already-scoped view.
 func New(cfg Config, stats *sim.Stats) *Cache {
-	c := &Cache{cfg: cfg}
-	c.sets = make([][]entry, cfg.Sets)
-	for i := range c.sets {
-		c.sets[i] = make([]entry, cfg.Ways)
+	c := &Cache{
+		cfg: cfg,
+		dir: hybrid.NewDirSets[cacheLine](uint64(cfg.Sets), cfg.Ways),
+		rep: hybrid.LRU{},
 	}
 	s := stats.Scope(cfg.Name)
 	c.hits = s.Counter("hits")
@@ -59,28 +60,24 @@ func (c *Cache) Misses() *sim.Counter { return c.misses }
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) index(addr uint64) uint64 {
-	return (addr / hybrid.CachelineSize) % uint64(c.cfg.Sets)
+func (c *Cache) index(addr uint64) int {
+	return int((addr / hybrid.CachelineSize) % uint64(c.cfg.Sets))
 }
 
-func (c *Cache) find(addr uint64) *entry {
-	set := c.sets[c.index(addr)]
-	for i := range set {
-		if set[i].valid && set[i].tag == addr {
-			return &set[i]
-		}
-	}
-	return nil
+func (c *Cache) find(addr uint64) (int, int) {
+	si := c.index(addr)
+	return si, c.dir.Lookup(si, addr)
 }
 
 // Access looks up the line at addr (line-aligned), updating LRU and
 // counters. If write is true and the line hits, it is marked dirty.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.tick++
-	if e := c.find(addr); e != nil {
-		e.lastUse = c.tick
+	if si, w := c.find(addr); w >= 0 {
+		m, line := c.dir.Way(si, w)
+		m.LastUse = c.tick
 		if write {
-			e.dirty = true
+			line.dirty = true
 		}
 		c.hits.Inc()
 		return true
@@ -90,7 +87,10 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 }
 
 // Probe reports presence without LRU or counter side effects.
-func (c *Cache) Probe(addr uint64) bool { return c.find(addr) != nil }
+func (c *Cache) Probe(addr uint64) bool {
+	_, w := c.find(addr)
+	return w >= 0
+}
 
 // Victim describes a line displaced by Install.
 type Victim struct {
@@ -104,34 +104,28 @@ type Victim struct {
 // already-present line just refreshes it.
 func (c *Cache) Install(addr uint64, dirty bool) Victim {
 	c.tick++
-	if e := c.find(addr); e != nil {
-		e.lastUse = c.tick
-		e.dirty = e.dirty || dirty
+	si, w := c.find(addr)
+	if w >= 0 {
+		m, line := c.dir.Way(si, w)
+		m.LastUse = c.tick
+		line.dirty = line.dirty || dirty
 		return Victim{}
 	}
-	set := c.sets[c.index(addr)]
-	victimIdx := 0
-	for i := range set {
-		if !set[i].valid {
-			victimIdx = i
-			break
-		}
-		if set[i].lastUse < set[victimIdx].lastUse {
-			victimIdx = i
-		}
-	}
+	vw := c.dir.Victim(si, c.rep)
+	m, line := c.dir.Way(si, vw)
 	v := Victim{}
-	if set[victimIdx].valid {
-		v = Victim{Addr: set[victimIdx].tag, Dirty: set[victimIdx].dirty, Valid: true}
+	if m.Valid {
+		v = Victim{Addr: m.Key, Dirty: line.dirty, Valid: true}
 	}
-	set[victimIdx] = entry{tag: addr, valid: true, dirty: dirty, lastUse: c.tick}
+	*m = hybrid.WayMeta{Key: addr, Valid: true, LastUse: c.tick}
+	*line = cacheLine{dirty: dirty}
 	return v
 }
 
 // MarkDirty sets the dirty bit if the line is present and reports presence.
 func (c *Cache) MarkDirty(addr uint64) bool {
-	if e := c.find(addr); e != nil {
-		e.dirty = true
+	if si, w := c.find(addr); w >= 0 {
+		c.dir.Payload(si, w).dirty = true
 		return true
 	}
 	return false
@@ -139,9 +133,11 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 
 // Invalidate removes the line if present, reporting (present, wasDirty).
 func (c *Cache) Invalidate(addr uint64) (bool, bool) {
-	if e := c.find(addr); e != nil {
-		dirty := e.dirty
-		*e = entry{}
+	if si, w := c.find(addr); w >= 0 {
+		m, line := c.dir.Way(si, w)
+		dirty := line.dirty
+		*m = hybrid.WayMeta{}
+		*line = cacheLine{}
 		return true, dirty
 	}
 	return false, false
@@ -150,10 +146,10 @@ func (c *Cache) Invalidate(addr uint64) (bool, bool) {
 // DirtyLines returns the addresses of all dirty lines (used by Flush).
 func (c *Cache) DirtyLines() []uint64 {
 	var out []uint64
-	for _, set := range c.sets {
-		for _, e := range set {
-			if e.valid && e.dirty {
-				out = append(out, e.tag)
+	for si := 0; si < c.cfg.Sets; si++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if m, line := c.dir.Way(si, w); m.Valid && line.dirty {
+				out = append(out, m.Key)
 			}
 		}
 	}
@@ -163,10 +159,10 @@ func (c *Cache) DirtyLines() []uint64 {
 // Lines returns the addresses of all valid lines.
 func (c *Cache) Lines() []uint64 {
 	var out []uint64
-	for _, set := range c.sets {
-		for _, e := range set {
-			if e.valid {
-				out = append(out, e.tag)
+	for si := 0; si < c.cfg.Sets; si++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if m, _ := c.dir.Way(si, w); m.Valid {
+				out = append(out, m.Key)
 			}
 		}
 	}

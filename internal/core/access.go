@@ -26,9 +26,8 @@ func (c *Controller) Access(now uint64, addr uint64, write bool, data []byte) hy
 	stageT := now + c.cfg.StageTagLatency
 
 	ssi := c.stageSetIdx(super)
-	sset := &c.stageSets[ssi]
-	c.ageStageSet(sset)
-	sw, slot := c.stageFind(sset, super, blkOff, s)
+	c.ageStageSet(ssi)
+	sw, slot := c.stageFind(ssi, super, blkOff, s)
 	if sw >= 0 {
 		c.traceDecision(now, "stageHit")
 		return c.caseStageHit(now, stageT, ssi, sw, slot, b, s, line, write, data)
@@ -51,7 +50,7 @@ func (c *Controller) Access(now uint64, addr uint64, write bool, data []byte) hy
 	}
 
 	// The block is not committed; is it staged (some other sub-block)?
-	if bw := c.stageFindBlock(sset, super, blkOff); bw >= 0 {
+	if bw := c.stageFindBlock(ssi, super, blkOff); bw >= 0 {
 		c.traceDecision(now, "stageSubMiss")
 		return c.caseStageSubMiss(now, stageT, ssi, bw, b, s, line, write, data)
 	}
@@ -74,10 +73,10 @@ func (c *Controller) remapLookup(now uint64, super hybrid.SuperBlockID) uint64 {
 	if c.rcache.Lookup(uint64(super)) {
 		return t
 	}
-	t = c.fast.Access(t, c.tableBase+uint64(super)*16, 64, false)
+	t = c.eng.FastRead(t, c.tableBase+uint64(super)*16, 64)
 	if c.rcache.Insert(uint64(super)) {
 		// Dirty victim line written back to the off-chip table.
-		c.fast.AccessBackground(now, c.tableBase+uint64(super)*16, 64, true)
+		c.eng.FillFast(now, c.tableBase+uint64(super)*16, 64)
 	}
 	return t
 }
@@ -86,17 +85,16 @@ func (c *Controller) remapLookup(now uint64, super hybrid.SuperBlockID) uint64 {
 // cached, otherwise written through to the table in fast memory.
 func (c *Controller) metaUpdate(now uint64, super hybrid.SuperBlockID) {
 	if !c.rcache.MarkDirty(uint64(super)) {
-		c.fast.AccessBackground(now, c.tableBase+uint64(super)*16, 64, true)
+		c.eng.FillFast(now, c.tableBase+uint64(super)*16, 64)
 	}
 }
 
 // --- Case 1: block in stage area, sub-block hit ------------------------
 
 func (c *Controller) caseStageHit(now, stageT uint64, ssi, sw, slot int, b uint64, s, line int, write bool, data []byte) hybrid.Result {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[sw]
-	fr.lastUse = c.seq
-	sset.mruWay = sw
+	sm, fr := c.stageDir.Way(ssi, sw)
+	sm.LastUse = c.seq
+	c.stageState[ssi].mruWay = sw
 	c.ctr.stageHits.Inc()
 	c.recordStageEvent(fr, false)
 
@@ -123,7 +121,7 @@ func (c *Controller) caseStageHit(now, stageT uint64, ssi, sw, slot int, b uint6
 
 	if !write {
 		devAddr := c.stageFrameAddr(ssi, sw, slot)
-		done := c.fast.Access(stageT, devAddr, c.readXferBytes(cf), false)
+		done := c.eng.FastRead(stageT, devAddr, c.readXferBytes(cf))
 		if cf > 1 {
 			done += c.cfg.DecompressLatency
 			c.ctr.decompressions.Inc()
@@ -141,7 +139,7 @@ func (c *Controller) caseStageHit(now, stageT uint64, ssi, sw, slot int, b uint6
 	copy(fr.data[slot][lineInRange*64:], data)
 	if c.rangeStillFits(fr.data[slot], cf) {
 		fr.tag.Slots[slot].Dirty = true
-		c.fast.AccessBackground(now, c.stageFrameAddr(ssi, sw, slot), 64, true)
+		c.eng.FillFast(now, c.stageFrameAddr(ssi, sw, slot), 64)
 		return hybrid.Result{Done: now}
 	}
 	c.ctr.stageWriteOverflow.Inc()
@@ -183,8 +181,7 @@ func (c *Controller) rangeFits(content []byte, cf int) bool {
 // restageOverflowedRange removes the overflowed range and reinserts its
 // sub-blocks (with their freshest content) as newly fetched ranges.
 func (c *Controller) restageOverflowedRange(now uint64, ssi, sw, slot int, b uint64) {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[sw]
+	fr := c.stageDir.Payload(ssi, sw)
 	rg := fr.tag.Slots[slot]
 	content := fr.data[slot]
 	// Push the freshest content into the canonical store first; reinsertion
@@ -196,7 +193,7 @@ func (c *Controller) restageOverflowedRange(now uint64, ssi, sw, slot int, b uin
 	c.removeStageSlot(fr, slot)
 	for i := 0; i < int(rg.CF); i++ {
 		sub := int(rg.SubOff) + i
-		if _, sl := c.stageFind(sset, fr.tag.Super, int(rg.BlkOff), sub); sl >= 0 {
+		if _, sl := c.stageFind(ssi, fr.tag.Super, int(rg.BlkOff), sub); sl >= 0 {
 			continue // already covered by a reinserted neighbour
 		}
 		c.stageInsertRange(now, ssi, sw, b, sub, true)
@@ -234,7 +231,7 @@ func (c *Controller) caseZeroBlock(now, rmT uint64, b uint64, s, line int, write
 	c.metaUpdate(now, c.superOf(b))
 	c.store.WriteLine(b*c.geom.blockBytes+uint64(s)*c.geom.subBytes+uint64(line)*64, data)
 	c.clearHints(b, s)
-	c.slow.AccessBackground(now, c.slowAddr(b, s), 64, true)
+	c.eng.WriteSlowBG(now, c.slowAddr(b, s), 64)
 	return hybrid.Result{Done: now}
 }
 
@@ -243,8 +240,8 @@ func (c *Controller) caseZeroBlock(now, rmT uint64, b uint64, s, line int, write
 func (c *Controller) caseFastHit(now, rmT uint64, ri *remapInfo, b uint64, s, line int, write bool, data []byte) hybrid.Result {
 	super := c.superOf(b)
 	si := c.setIdx(super)
-	fr := &c.sets[si].ways[ri.way]
-	fr.lastUse = c.seq
+	m, fr := c.fastDir.Way(si, int(ri.way))
+	m.LastUse = c.seq
 	idx := findOcc(fr, uint8(c.blkOff(b)), uint8(s))
 	if idx < 0 {
 		panic("core: remap bit set but no committed range")
@@ -257,7 +254,7 @@ func (c *Controller) caseFastHit(now, rmT uint64, ri *remapInfo, b uint64, s, li
 
 	if !write {
 		devAddr := c.frameAddr(si, int(ri.way), idx)
-		done := c.fast.Access(rmT, devAddr, c.readXferBytes(cf), false)
+		done := c.eng.FastRead(rmT, devAddr, c.readXferBytes(cf))
 		if cf > 1 {
 			done += c.cfg.DecompressLatency
 			c.ctr.decompressions.Inc()
@@ -275,7 +272,7 @@ func (c *Controller) caseFastHit(now, rmT uint64, ri *remapInfo, b uint64, s, li
 	copy(rg.data[lineInRange*64:], data)
 	if c.rangeStillFits(rg.data, cf) {
 		rg.dirty = true
-		c.fast.AccessBackground(now, c.frameAddr(si, int(ri.way), idx), 64, true)
+		c.eng.FillFast(now, c.frameAddr(si, int(ri.way), idx), 64)
 		return hybrid.Result{Done: now}
 	}
 	c.ctr.fastOverflow.Inc()
@@ -292,10 +289,10 @@ func (c *Controller) caseFastSubMiss(now, rmT uint64, b uint64, s, line int, wri
 	if write {
 		c.store.WriteLine(lineAddr, data)
 		c.clearHints(b, s)
-		c.slow.AccessBackground(now, c.slowAddr(b, s)+uint64(line)*64, 64, true)
+		c.eng.WriteSlowBG(now, c.slowAddr(b, s)+uint64(line)*64, 64)
 		res = hybrid.Result{Done: now}
 	} else {
-		done := c.slow.Access(rmT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
+		done := c.eng.SlowRead(rmT, c.slowAddr(b, s)+uint64(line)*64, 64)
 		c.ctr.servedSlow.Inc()
 		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
@@ -312,11 +309,11 @@ func (c *Controller) caseFastSubMiss(now, rmT uint64, b uint64, s, line int, wri
 // --- Case 3: block staged, sub-block miss -------------------------------
 
 func (c *Controller) caseStageSubMiss(now, stageT uint64, ssi, sw int, b uint64, s, line int, write bool, data []byte) hybrid.Result {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[sw]
+	fr := c.stageDir.Payload(ssi, sw)
 	fr.tag.MissCnt = satAdd16(fr.tag.MissCnt, 1)
-	if sset.mruWay == sw {
-		sset.mruMissCnt++
+	st := &c.stageState[ssi]
+	if st.mruWay == sw {
+		st.mruMissCnt++
 	}
 	c.ctr.stageSubMiss.Inc()
 	c.recordStageEvent(fr, true)
@@ -328,7 +325,7 @@ func (c *Controller) caseStageSubMiss(now, stageT uint64, ssi, sw int, b uint64,
 		c.clearHints(b, s)
 		res = hybrid.Result{Done: now}
 	} else {
-		done := c.slow.Access(stageT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
+		done := c.eng.SlowRead(stageT, c.slowAddr(b, s)+uint64(line)*64, 64)
 		c.ctr.servedSlow.Inc()
 		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
@@ -342,8 +339,7 @@ func (c *Controller) caseStageSubMiss(now, stageT uint64, ssi, sw int, b uint64,
 // --- Case 5: block miss everywhere --------------------------------------
 
 func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line int, write bool, data []byte) hybrid.Result {
-	sset := &c.stageSets[ssi]
-	sset.mruMissCnt++
+	c.stageState[ssi].mruMissCnt++
 	c.ctr.blockMiss.Inc()
 
 	lineAddr := b*c.geom.blockBytes + uint64(s)*c.geom.subBytes + uint64(line)*64
@@ -353,7 +349,7 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 		c.clearHints(b, s)
 		res = hybrid.Result{Done: now}
 	} else {
-		done := c.slow.Access(metaT, c.slowAddr(b, s)+uint64(line)*64, 64, false)
+		done := c.eng.SlowRead(metaT, c.slowAddr(b, s)+uint64(line)*64, 64)
 		c.ctr.servedSlow.Inc()
 		c.ctr.latSlowPath.Observe(done - now)
 		res = hybrid.Result{Done: done, Data: c.copyStoreLine(lineAddr)}
@@ -369,8 +365,8 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 	// Find stage ways already holding this super-block; pick one at random
 	// when several exist (Section III-D, case 5).
 	var candidates []int
-	for w := range sset.ways {
-		if sset.ways[w].tag.Valid && sset.ways[w].tag.Super == super {
+	for w := 0; w < c.geom.stageWays; w++ {
+		if fr := c.stageDir.Payload(ssi, w); fr.tag.Valid && fr.tag.Super == super {
 			candidates = append(candidates, w)
 		}
 	}
@@ -400,19 +396,19 @@ func (c *Controller) prefetchHintedRanges(now uint64, ssi, sw int, b uint64, dem
 	if !c.cfg.CompressedWriteback || !c.cfg.UseStageArea {
 		return
 	}
-	sset := &c.stageSets[ssi]
+
 	super := c.superOf(b)
 	blkOff := c.blkOff(b)
 	for q := 0; q < 2; q++ {
 		if c.cf4Hint[b]&(1<<q) != 0 && demanded/4 != q {
-			if w, _ := c.stageFind(sset, super, blkOff, q*4); w < 0 {
+			if w, _ := c.stageFind(ssi, super, blkOff, q*4); w < 0 {
 				c.stageInsertRange(now, ssi, sw, b, q*4, false)
 			}
 		}
 	}
 	for p := 0; p < 4; p++ {
 		if c.cf2Hint[b]&(1<<p) != 0 && demanded/2 != p {
-			if w, _ := c.stageFind(sset, super, blkOff, p*2); w < 0 {
+			if w, _ := c.stageFind(ssi, super, blkOff, p*2); w < 0 {
 				c.stageInsertRange(now, ssi, sw, b, p*2, false)
 			}
 		}

@@ -50,18 +50,17 @@ func TestRemapPositionMatchesMetadataDecode(t *testing.T) {
 	c := stormController(t, cfg, 25000, 77)
 
 	checked := 0
-	for si := range c.sets {
-		set := &c.sets[si]
-		for wi := range set.ways {
-			f := &set.ways[wi]
-			if !f.valid {
+	for si := 0; si < int(c.geom.sets); si++ {
+		for wi := 0; wi < c.geom.ways; wi++ {
+			m, f := c.fastDir.Way(si, wi)
+			if !m.Valid {
 				continue
 			}
 			// Build the architectural entries of this frame's super-block,
 			// restricted to blocks stored in this way.
 			var se metadata.SuperEntries
 			for off := 0; off < int(c.geom.superBlocks); off++ {
-				b := c.blockID(f.super, uint8(off))
+				b := c.blockID(hybrid.SuperBlockID(m.Key), uint8(off))
 				if b >= uint64(len(c.remap)) {
 					continue
 				}
@@ -96,9 +95,9 @@ func TestStageTagEncodeMatchesState(t *testing.T) {
 	cfg := testConfig()
 	c := stormController(t, cfg, 15000, 78)
 	live := 0
-	for si := range c.stageSets {
-		for wi := range c.stageSets[si].ways {
-			tag := &c.stageSets[si].ways[wi].tag
+	for si := 0; si < int(c.geom.stageSets); si++ {
+		for wi := 0; wi < c.geom.stageWays; wi++ {
+			tag := &c.stageDir.Payload(si, wi).tag
 			if !tag.Valid {
 				continue
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"baryon/internal/config"
+	"baryon/internal/hybrid"
 	"baryon/internal/metadata"
 )
 
@@ -16,15 +17,13 @@ import (
 // finishStageFrame retires stage frame (ssi, w): it either commits the frame
 // to the cache/flat area or evicts it to slow memory, then clears it.
 func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[w]
+	sm, fr := c.stageDir.Way(ssi, w)
 	if !fr.tag.Valid {
 		return
 	}
 	c.emitStagePhase(fr)
 
 	si := c.setIdx(fr.tag.Super)
-	set := &c.sets[si]
 
 	slotsNeeded := 0
 	dirtyStage := 0
@@ -43,9 +42,10 @@ func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
 	// replacement victim (LRU for low-associative, FIFO for fully
 	// associative, Section III-E).
 	appendW := -1
-	for wi := range set.ways {
-		if set.ways[wi].valid && set.ways[wi].super == fr.tag.Super &&
-			len(set.ways[wi].occ)+slotsNeeded <= 8 {
+	for wi := 0; wi < c.geom.ways; wi++ {
+		m, f := c.fastDir.Way(si, wi)
+		if m.Valid && hybrid.SuperBlockID(m.Key) == fr.tag.Super &&
+			len(f.occ)+slotsNeeded <= 8 {
 			appendW = wi
 			break
 		}
@@ -53,9 +53,9 @@ func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
 	victimW := appendW
 	dirtyVictim := 0
 	if victimW < 0 {
-		victimW = c.fastVictimWay(set)
-		v := &set.ways[victimW]
-		if v.valid {
+		victimW = c.fastDir.Victim(si, c.fastRep)
+		vm, v := c.fastDir.Way(si, victimW)
+		if vm.Valid {
 			if c.cfg.Mode == config.ModeFlat {
 				dirtyVictim = len(v.occ) // all sub-blocks swap in flat mode
 			} else {
@@ -68,8 +68,8 @@ func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
 		}
 	}
 
-	if c.shouldCommit(sset, fr, dirtyStage, dirtyVictim) &&
-		c.flatCommitFeasible(set, fr, victimW, appendW >= 0) {
+	if c.shouldCommit(ssi, fr, dirtyStage, dirtyVictim) &&
+		c.flatCommitFeasible(si, fr, victimW, appendW >= 0) {
 		c.commitStageFrame(now, ssi, w, si, victimW, appendW >= 0)
 	} else {
 		c.evictStageFrame(now, ssi, w)
@@ -77,15 +77,16 @@ func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
 	fr.tag = metadata.StageTag{}
 	fr.data = [8][]byte{}
 	fr.events = fr.events[:0]
+	sm.Valid = false
 }
 
 // shouldCommit evaluates Eq. 1: B = k*(MRUMissCnt/assoc - MissCnt) +
 // (#Dirty_stage - #Dirty_cache/flat); commit when B >= 0.
-func (c *Controller) shouldCommit(sset *stageSet, fr *stageFrame, dirtyStage, dirtyVictim int) bool {
+func (c *Controller) shouldCommit(ssi int, fr *stageFrame, dirtyStage, dirtyVictim int) bool {
 	if c.cfg.CommitAll {
 		return true
 	}
-	stability := float64(sset.mruMissCnt)/float64(len(sset.ways)) - float64(fr.tag.MissCnt)
+	stability := float64(c.stageState[ssi].mruMissCnt)/float64(c.geom.stageWays) - float64(fr.tag.MissCnt)
 	if c.cfg.CommitK < 0 { // k = infinity: stability only
 		return stability >= 0
 	}
@@ -93,39 +94,20 @@ func (c *Controller) shouldCommit(sset *stageSet, fr *stageFrame, dirtyStage, di
 	return benefit >= 0
 }
 
-// fastVictimWay picks the cache/flat-area victim: an invalid way if any,
-// else LRU (low-associative) or FIFO (fully-associative).
-func (c *Controller) fastVictimWay(set *fastSet) int {
-	victim := 0
-	for wi := range set.ways {
-		if !set.ways[wi].valid {
-			return wi
-		}
-		if c.cfg.FullyAssociative {
-			if set.ways[wi].allocSeq < set.ways[victim].allocSeq {
-				victim = wi
-			}
-		} else if set.ways[wi].lastUse < set.ways[victim].lastUse {
-			victim = wi
-		}
-	}
-	return victim
-}
-
 // flatCommitFeasible verifies the flat-scheme invariant of Section III-F:
 // swapping the victim's original content out requires at least one block's
 // worth of free slow sub-block spaces within the committing super-block.
-func (c *Controller) flatCommitFeasible(set *fastSet, fr *stageFrame, victimW int, appending bool) bool {
+func (c *Controller) flatCommitFeasible(si int, fr *stageFrame, victimW int, appending bool) bool {
 	if c.cfg.Mode != config.ModeFlat || appending {
 		return true
 	}
-	v := &set.ways[victimW]
-	if !v.valid {
+	vm, v := c.fastDir.Way(si, victimW)
+	if !vm.Valid {
 		return true // empty frame, nothing to swap out
 	}
 	// Victim holds its native block and that block is resident: its content
 	// must spread into the super-block's freed slow spaces.
-	if !c.frameHoldsNative(v) {
+	if !c.frameHoldsNative(vm, v) {
 		return true // victim data returns to its original slow locations
 	}
 	free := 0
@@ -161,18 +143,18 @@ func (c *Controller) flatCommitFeasible(set *fastSet, fr *stageFrame, victimW in
 
 // frameHoldsNative reports whether a flat-mode frame still holds its native
 // block's content.
-func (c *Controller) frameHoldsNative(f *fastFrame) bool {
+func (c *Controller) frameHoldsNative(m *hybrid.WayMeta, f *fastFrame) bool {
 	if c.cfg.Mode != config.ModeFlat {
 		return false
 	}
 	ri := &c.remap[f.native]
-	return ri.remap != 0 && f.valid && c.superOf(f.native) == f.super &&
+	return ri.remap != 0 && m.Valid && uint64(c.superOf(f.native)) == m.Key &&
 		findOcc(f, uint8(c.blkOff(f.native)), 0) >= 0
 }
 
 // evictStageFrame writes the frame's dirty ranges back to slow memory.
 func (c *Controller) evictStageFrame(now uint64, ssi, w int) {
-	fr := &c.stageSets[ssi].ways[w]
+	fr := c.stageDir.Payload(ssi, w)
 	for slot := range fr.tag.Slots {
 		c.writebackStageSlot(now, fr, slot)
 	}
@@ -184,27 +166,26 @@ func (c *Controller) evictStageFrame(now uint64, ssi, w int) {
 // the ranges are sorted into the frozen dense layout of Rule 4, and the
 // remap entries are rewritten in the compact format.
 func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appending bool) {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[w]
-	set := &c.sets[si]
-	target := &set.ways[targetW]
+	fr := c.stageDir.Payload(ssi, w)
+	tm, target := c.fastDir.Way(si, targetW)
 
-	if !appending && target.valid {
+	if !appending && tm.Valid {
 		c.evictFastFrame(now, si, targetW)
 	}
 
 	commitDone := now
-	if !appending || !target.valid {
+	if !appending || !tm.Valid {
 		native := target.native
-		*target = fastFrame{valid: true, super: fr.tag.Super, native: native}
+		*tm = hybrid.WayMeta{Key: uint64(fr.tag.Super), Valid: true}
+		*target = fastFrame{native: native}
 	} else {
 		// Appending rewrites the frame's dense layout (a re-sort).
 		c.ctr.resortRewrites.Inc()
 		commitDone = maxU64(commitDone,
-			c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true))
+			c.eng.FillFast(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes))
 	}
-	target.lastUse = c.seq
-	target.allocSeq = c.seq
+	tm.LastUse = c.seq
+	tm.AllocSeq = c.seq
 
 	// Gather the committed ranges; Z-descriptors become Z remap entries.
 	for slot, rg := range fr.tag.Slots {
@@ -223,22 +204,22 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 		})
 		// Traffic: stage read + cache/flat-area write, both in fast memory.
 		commitDone = maxU64(commitDone,
-			c.fast.AccessBackground(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes, false))
+			c.eng.ReadFastBG(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes))
 	}
 	sortOcc(target.occ)
 	commitDone = maxU64(commitDone,
-		c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes, true))
+		c.eng.FillFast(now, c.frameAddr(si, targetW, 0), uint64(len(target.occ))*c.geom.subBytes))
 	c.ctr.latCommit.Observe(commitDone - now)
-	if c.tracer != nil {
-		c.tracer.Span("commit", "", now, commitDone)
+	if t := c.eng.Tracer(); t != nil {
+		t.Span("commit", "", now, commitDone)
 	}
 
 	// Rewrite the remap entries of every block present in the target frame.
 	c.rebuildRemap(si, targetW)
 	c.metaUpdate(now, fr.tag.Super)
 	c.ctr.commits.Inc()
-	for wi := range set.ways {
-		if wi != targetW && set.ways[wi].valid && set.ways[wi].super == fr.tag.Super {
+	for wi, m := range c.fastDir.SetMeta(si) {
+		if wi != targetW && m.Valid && hybrid.SuperBlockID(m.Key) == fr.tag.Super {
 			c.ctr.multiFrameSupers.Inc()
 			break
 		}
@@ -270,11 +251,12 @@ func findOcc(f *fastFrame, blkOff, sub uint8) int {
 // (si, way) from its occupancy (the architectural metadata the compact
 // format encodes).
 func (c *Controller) rebuildRemap(si, way int) {
-	f := &c.sets[si].ways[way]
+	m, f := c.fastDir.Way(si, way)
+	super := hybrid.SuperBlockID(m.Key)
 	perBlock := map[uint8]*remapInfo{}
 	for i := range f.occ {
 		rg := &f.occ[i]
-		b := c.blockID(f.super, rg.BlkOffU8())
+		b := c.blockID(super, rg.BlkOffU8())
 		ri := &c.remap[b]
 		if perBlock[rg.blkOff] == nil {
 			ri.remap, ri.cf2, ri.cf4, ri.z = 0, 0, 0, false
@@ -299,12 +281,13 @@ func (rg *occRange) BlkOffU8() uint8 { return rg.blkOff }
 // evictFastFrame evicts every block committed in frame (si, way) to slow
 // memory, handling the flat-scheme swap mechanics.
 func (c *Controller) evictFastFrame(now uint64, si, way int) {
-	f := &c.sets[si].ways[way]
-	if !f.valid {
+	m, f := c.fastDir.Way(si, way)
+	if !m.Valid {
 		return
 	}
+	super := hybrid.SuperBlockID(m.Key)
 	flat := c.cfg.Mode == config.ModeFlat
-	nativeResident := c.frameHoldsNative(f)
+	nativeResident := c.frameHoldsNative(m, f)
 
 	if flat && !nativeResident && len(f.occ) > 0 {
 		// Three-way swap (Section III-F): the frame's original content is
@@ -312,13 +295,13 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 		// committed blocks can return to their original slow locations
 		// costs one extra block move in slow memory.
 		c.ctr.swapThreeWay.Inc()
-		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, false)
-		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, true)
+		c.eng.FetchSlow(now, c.slowAddr(f.native, 0), c.geom.blockBytes)
+		c.eng.WriteSlowBG(now, c.slowAddr(f.native, 0), c.geom.blockBytes)
 	}
 
 	for i := range f.occ {
 		rg := &f.occ[i]
-		b := c.blockID(f.super, rg.blkOff)
+		b := c.blockID(super, rg.blkOff)
 		isNative := flat && b == f.native
 		// Push content back to the canonical store.
 		for k := 0; k < int(rg.cf); k++ {
@@ -340,19 +323,20 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 	if nativeResident {
 		// Spread the native block into the freed slow sub-block spaces.
 		c.ctr.swapSpread.Inc()
-		c.slow.AccessBackground(now, c.slowAddr(f.native, 0), c.geom.blockBytes, true)
+		c.eng.WriteSlowBG(now, c.slowAddr(f.native, 0), c.geom.blockBytes)
 	}
 
 	// Clear the remap entries of every block that lived here.
 	for i := range f.occ {
-		b := c.blockID(f.super, f.occ[i].blkOff)
+		b := c.blockID(super, f.occ[i].blkOff)
 		ri := &c.remap[b]
 		if ri.way == int32(way) {
 			*ri = remapInfo{way: -1}
 		}
 	}
-	c.metaUpdate(now, f.super)
+	c.metaUpdate(now, super)
 	native := f.native
+	*m = hybrid.WayMeta{}
 	*f = fastFrame{native: native}
 }
 
@@ -361,7 +345,7 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 // layout forces the remaining ranges to be compacted, which we charge as
 // fast-memory move traffic.
 func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, overflow bool) {
-	f := &c.sets[si].ways[way]
+	m, f := c.fastDir.Way(si, way)
 	blkOff := uint8(c.blkOff(b))
 	kept := f.occ[:0]
 	moved := 0
@@ -389,12 +373,13 @@ func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, over
 	f.occ = kept
 	if moved > 0 {
 		c.ctr.resortRewrites.Inc()
-		c.fast.AccessBackground(now, c.frameAddr(si, way, 0), uint64(moved)*c.geom.subBytes, true)
+		c.eng.FillFast(now, c.frameAddr(si, way, 0), uint64(moved)*c.geom.subBytes)
 	}
 	ri := &c.remap[b]
 	*ri = remapInfo{way: -1}
-	if len(f.occ) == 0 && !(c.cfg.Mode == config.ModeFlat && c.frameHoldsNative(f)) {
+	if len(f.occ) == 0 && !(c.cfg.Mode == config.ModeFlat && c.frameHoldsNative(m, f)) {
 		native := f.native
+		*m = hybrid.WayMeta{}
 		*f = fastFrame{native: native}
 	}
 	c.rebuildRemapSafe(si, way)
@@ -404,8 +389,7 @@ func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, over
 // rebuildRemapSafe re-derives remap entries after a partial eviction when
 // the frame is still valid.
 func (c *Controller) rebuildRemapSafe(si, way int) {
-	f := &c.sets[si].ways[way]
-	if f.valid {
+	if m, _ := c.fastDir.Way(si, way); m.Valid {
 		c.rebuildRemap(si, way)
 	}
 }
@@ -416,7 +400,6 @@ func (c *Controller) rebuildRemapSafe(si, way int) {
 func (c *Controller) directInsert(now uint64, b uint64, s int, dirty bool) {
 	super := c.superOf(b)
 	si := c.setIdx(super)
-	set := &c.sets[si]
 
 	// Choose the range (no stage-overlap concerns: the block is absent).
 	start, cf := s, 1
@@ -430,29 +413,32 @@ func (c *Controller) directInsert(now uint64, b uint64, s int, dirty bool) {
 	content := c.rangeContent(b, start, cf)
 
 	targetW := -1
-	for wi := range set.ways {
-		if set.ways[wi].valid && set.ways[wi].super == super && len(set.ways[wi].occ) < 8 {
+	for wi := 0; wi < c.geom.ways; wi++ {
+		m, f := c.fastDir.Way(si, wi)
+		if m.Valid && hybrid.SuperBlockID(m.Key) == super && len(f.occ) < 8 {
 			targetW = wi
 			break
 		}
 	}
 	if targetW < 0 {
-		targetW = c.fastVictimWay(set)
-		if set.ways[targetW].valid {
+		targetW = c.fastDir.Victim(si, c.fastRep)
+		tm, tf := c.fastDir.Way(si, targetW)
+		if tm.Valid {
 			c.evictFastFrame(now, si, targetW)
 		}
-		native := set.ways[targetW].native
-		set.ways[targetW] = fastFrame{valid: true, super: super, native: native}
+		native := tf.native
+		*tm = hybrid.WayMeta{Key: uint64(super), Valid: true}
+		*tf = fastFrame{native: native}
 	}
-	f := &set.ways[targetW]
-	f.lastUse = c.seq
-	f.allocSeq = c.seq
+	m, f := c.fastDir.Way(si, targetW)
+	m.LastUse = c.seq
+	m.AllocSeq = c.seq
 	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: content})
 	sortOcc(f.occ)
 	// Every insertion re-sorts the dense layout: rewrite the frame.
 	c.ctr.resortRewrites.Inc()
-	c.slow.AccessBackground(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes, false)
-	c.fast.AccessBackground(now, c.frameAddr(si, targetW, 0), uint64(len(f.occ))*c.geom.subBytes, true)
+	c.eng.FetchSlow(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes)
+	c.eng.FillFast(now, c.frameAddr(si, targetW, 0), uint64(len(f.occ))*c.geom.subBytes)
 	c.rebuildRemap(si, targetW)
 	c.metaUpdate(now, super)
 }
@@ -466,8 +452,8 @@ func (c *Controller) directInsertSub(now uint64, b uint64, s int, dirty bool) {
 	}
 	super := c.superOf(b)
 	si := c.setIdx(super)
-	f := &c.sets[si].ways[ri.way]
-	if !f.valid || len(f.occ) >= 8 {
+	m, f := c.fastDir.Way(si, int(ri.way))
+	if !m.Valid || len(f.occ) >= 8 {
 		return
 	}
 	start, cf := s, 1
@@ -491,8 +477,8 @@ func (c *Controller) directInsertSub(now uint64, b uint64, s int, dirty bool) {
 	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: c.rangeContent(b, start, cf)})
 	sortOcc(f.occ)
 	c.ctr.resortRewrites.Inc()
-	c.slow.AccessBackground(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes, false)
-	c.fast.AccessBackground(now, c.frameAddr(si, int(ri.way), 0), uint64(len(f.occ))*c.geom.subBytes, true)
+	c.eng.FetchSlow(now, c.slowAddr(b, start), uint64(cf)*c.geom.subBytes)
+	c.eng.FillFast(now, c.frameAddr(si, int(ri.way), 0), uint64(len(f.occ))*c.geom.subBytes)
 	c.rebuildRemap(si, int(ri.way))
 	c.metaUpdate(now, super)
 }

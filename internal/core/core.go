@@ -30,37 +30,33 @@ type occRange struct {
 	data   []byte // cf*subBytes of uncompressed content; nil when zero
 }
 
-// fastFrame is one block frame in the cache/flat area. Per Rule 1 it holds
-// ranges of a single super-block.
+// fastFrame is the payload of one cache/flat-area way in the kit's tag
+// directory (hybrid.Dir): the committed ranges of a single super-block
+// (Rule 1 — the super-block's ID is the way's key) plus, in flat mode, the
+// OS block homed at this frame. Validity and the LRU/FIFO ranks live in the
+// directory's WayMeta.
 type fastFrame struct {
-	valid    bool
-	super    hybrid.SuperBlockID
-	occ      []occRange // sorted by (blkOff, subOff), at most 8 slots
-	lastUse  uint64     // LRU (low-associative configurations)
-	allocSeq uint64     // FIFO (fully-associative configurations)
-	native   uint64     // flat mode: the OS block homed at this frame
+	occ    []occRange // sorted by (blkOff, subOff), at most 8 slots
+	native uint64     // flat mode: the OS block homed at this frame
 }
 
-type fastSet struct {
-	ways []fastFrame
-}
-
-// stageFrame is one block frame of the stage area plus its architectural
-// stage tag entry.
+// stageFrame is the payload of one stage-area way: the architectural stage
+// tag entry, the staged range content, and the Fig. 3/4 instrumentation.
+// The recency/age ranks of the two-level replacement policy live in the
+// directory's WayMeta, whose Valid bit mirrors tag.Valid.
 type stageFrame struct {
-	tag     metadata.StageTag
-	data    [8][]byte // uncompressed range content per slot
-	lastUse uint64
+	tag  metadata.StageTag
+	data [8][]byte // uncompressed range content per slot
 
 	// Instrumentation for Figs. 3 and 4.
-	allocSeq  uint64
 	events    []bool // per-access miss record during this stage phase
 	accesses  uint32
 	instStart uint64 // instruction clock at allocation (for MPKI)
 }
 
-type stageSet struct {
-	ways        []stageFrame
+// stageSetState is the per-set half of the stage area's two-level policy:
+// the MRU-way stability counters of Eq. 1 and the ageing interval.
+type stageSetState struct {
 	mruMissCnt  uint32
 	mruWay      int
 	accSinceAge uint32
@@ -87,15 +83,19 @@ type Controller struct {
 	comp *compress.Compressor
 	rng  *sim.RNG
 
-	fast *mem.Device
-	slow *mem.Device
+	eng *hybrid.Engine
 
 	store *hybrid.Store // canonical content of every OS block
 
-	sets      []fastSet
-	stageSets []stageSet
-	remap     []remapInfo
-	rcache    *metadata.RemapCache
+	fastDir *hybrid.Dir[fastFrame]
+	fastRep hybrid.Replacer
+
+	stageDir   *hybrid.Dir[stageFrame]
+	stageState []stageSetState
+	stageRep   hybrid.Replacer
+
+	remap  []remapInfo
+	rcache *metadata.RemapCache
 
 	// cfHints remembers ranges written back to slow memory in compressed
 	// form (Section III-F): bit i of cf4Hint marks quad i, bit i of cf2Hint
@@ -104,9 +104,8 @@ type Controller struct {
 
 	seq uint64 // monotonic sequence for LRU/FIFO ordering
 
-	stats  *sim.Stats
-	ctr    counters
-	tracer *obs.Tracer
+	stats *sim.Stats
+	ctr   counters
 
 	instr Instrumentation
 
@@ -189,16 +188,18 @@ func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
 	if cfg.DetailedDDR {
 		fastCfg = mem.DDR4DetailedConfig()
 	}
-	c.fast = mem.NewDevice(fastCfg, stats)
-	c.slow = mem.NewDevice(mem.SlowPreset(cfg.SlowMemory), stats)
+	c.eng = hybrid.NewEngine(fastCfg, mem.SlowPreset(cfg.SlowMemory), stats)
 
-	c.sets = make([]fastSet, g.sets)
-	for i := range c.sets {
-		c.sets[i] = fastSet{ways: make([]fastFrame, g.ways)}
+	c.fastDir = hybrid.NewDirSets[fastFrame](g.sets, g.ways)
+	c.fastRep = hybrid.Replacer(hybrid.LRU{})
+	if cfg.FullyAssociative {
+		c.fastRep = hybrid.FIFO{}
 	}
-	c.stageSets = make([]stageSet, g.stageSets)
-	for i := range c.stageSets {
-		c.stageSets[i] = stageSet{ways: make([]stageFrame, g.stageWays), mruWay: -1}
+	c.stageDir = hybrid.NewDirSets[stageFrame](g.stageSets, g.stageWays)
+	c.stageRep = hybrid.TwoLevelBlock{}
+	c.stageState = make([]stageSetState, g.stageSets)
+	for i := range c.stageState {
+		c.stageState[i].mruWay = -1
 	}
 	c.remap = make([]remapInfo, g.osBlocks)
 	for i := range c.remap {
@@ -247,44 +248,37 @@ func (c *Controller) initCounters() {
 		resortRewrites:       s.Counter("resortRewrites"),
 		compressedWritebacks: s.Counter("compressedWritebacks"),
 		multiFrameSupers:     s.Counter("multiFrameSupers"),
-
-		latStageHit:  s.Histogram("lat.stageHit"),
-		latFastHit:   s.Histogram("lat.fastHit"),
-		latSlowPath:  s.Histogram("lat.slowPath"),
-		latCommit:    s.Histogram("lat.commit"),
-		latWriteback: s.Histogram("lat.writeback"),
 	}
+	// Histogram registration order is part of the report format: the stage
+	// histogram precedes the engine's fastHit/slowPath pair, commit and
+	// writeback follow.
+	c.ctr.latStageHit = s.Histogram("lat.stageHit")
+	c.ctr.latFastHit, c.ctr.latSlowPath = c.eng.InstrumentLatency(s)
+	c.ctr.latCommit = s.Histogram("lat.commit")
+	c.ctr.latWriteback = s.Histogram("lat.writeback")
 }
 
 // SetTracer attaches a request-lifecycle tracer to the controller and its
 // devices. Nil detaches.
-func (c *Controller) SetTracer(t *obs.Tracer) {
-	c.tracer = t
-	c.fast.SetTracer(t)
-	c.slow.SetTracer(t)
-}
+func (c *Controller) SetTracer(t *obs.Tracer) { c.eng.SetTracer(t) }
 
 // traceDecision records the controller's access-flow case for the current
 // sampled request as an instant event (no-op when tracing is off).
-func (c *Controller) traceDecision(now uint64, cat string) {
-	if c.tracer != nil {
-		c.tracer.Instant("decision", cat, now)
-	}
-}
+func (c *Controller) traceDecision(now uint64, cat string) { c.eng.Decision(now, cat) }
 
 // initFlatResidents fills every flat-area frame with its native OS block,
 // fully present and uncompressed (the paper's flat mode places blocks in
 // fast memory until the space is used up).
 func (c *Controller) initFlatResidents() {
-	for q := range c.sets {
-		for w := range c.sets[q].ways {
-			b := uint64(q)*c.geom.superBlocks + uint64(w)
+	for q := uint64(0); q < c.geom.sets; q++ {
+		for w := 0; w < c.geom.ways; w++ {
+			b := q*c.geom.superBlocks + uint64(w)
 			if b >= c.geom.osBlocks {
 				continue
 			}
-			f := &c.sets[q].ways[w]
-			f.valid = true
-			f.super = c.superOf(b)
+			m, f := c.fastDir.Way(int(q), w)
+			m.Valid = true
+			m.Key = uint64(c.superOf(b))
 			f.native = b
 			f.occ = nil
 			for s := 0; s < config.SubBlocksPerBlock; s++ {
@@ -371,10 +365,10 @@ func (c *Controller) MeanRangeCF() float64 {
 func (c *Controller) RemapCacheHitRate() float64 { return c.rcache.HitRate() }
 
 // FastDevice and SlowDevice expose the devices for traffic/energy reports.
-func (c *Controller) FastDevice() *mem.Device { return c.fast }
+func (c *Controller) FastDevice() *mem.Device { return c.eng.Fast() }
 
 // SlowDevice returns the slow-memory device model.
-func (c *Controller) SlowDevice() *mem.Device { return c.slow }
+func (c *Controller) SlowDevice() *mem.Device { return c.eng.Slow() }
 
 // AddInstructions advances the retired-instruction clock used by MPKI
 // statistics (called by the CPU runner).

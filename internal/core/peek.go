@@ -15,9 +15,9 @@ func (c *Controller) PeekLine(addr uint64) []byte {
 	super := c.superOf(b)
 	blkOff := c.blkOff(b)
 
-	sset := &c.stageSets[c.stageSetIdx(super)]
-	if w, slot := c.stageFind(sset, super, blkOff, s); w >= 0 {
-		fr := &sset.ways[w]
+	ssi := c.stageSetIdx(super)
+	if w, slot := c.stageFind(ssi, super, blkOff, s); w >= 0 {
+		fr := c.stageDir.Payload(ssi, w)
 		rg := fr.tag.Slots[slot]
 		if rg.Zero {
 			return zeroLine()
@@ -32,7 +32,7 @@ func (c *Controller) PeekLine(addr uint64) []byte {
 		return zeroLine()
 	case ri.remap&(1<<s) != 0:
 		si := c.setIdx(super)
-		fr := &c.sets[si].ways[ri.way]
+		_, fr := c.fastDir.Way(si, int(ri.way))
 		idx := findOcc(fr, uint8(blkOff), uint8(s))
 		if idx < 0 {
 			panic("core: PeekLine found remap bit without committed range")
@@ -55,11 +55,10 @@ func (c *Controller) PeekLine(addr uint64) []byte {
 //
 // It returns a description of the first violation, or "".
 func (c *Controller) CheckInvariants() string {
-	for si := range c.sets {
-		set := &c.sets[si]
-		for wi := range set.ways {
-			f := &set.ways[wi]
-			if !f.valid {
+	for si := 0; si < int(c.geom.sets); si++ {
+		for wi := 0; wi < c.geom.ways; wi++ {
+			m, f := c.fastDir.Way(si, wi)
+			if !m.Valid {
 				continue
 			}
 			if len(f.occ) > 8 {
@@ -73,7 +72,7 @@ func (c *Controller) CheckInvariants() string {
 			}
 			for i := range f.occ {
 				rg := &f.occ[i]
-				b := c.blockID(f.super, rg.blkOff)
+				b := c.blockID(hybrid.SuperBlockID(m.Key), rg.blkOff)
 				ri := &c.remap[b]
 				if ri.way != int32(wi) {
 					return "occupied range's remap entry points elsewhere (Rule 3)"
@@ -93,8 +92,8 @@ func (c *Controller) CheckInvariants() string {
 			continue
 		}
 		super := c.superOf(uint64(b))
-		f := &c.sets[c.setIdx(super)].ways[ri.way]
-		if !f.valid || f.super != super {
+		m, f := c.fastDir.Way(c.setIdx(super), int(ri.way))
+		if !m.Valid || hybrid.SuperBlockID(m.Key) != super {
 			return "remap entry points at a frame of another super-block (Rule 1)"
 		}
 		for s := 0; s < 8; s++ {

@@ -11,23 +11,24 @@ import (
 
 // ageStageSet right-shifts the set's miss counters every 10000 accesses, as
 // the paper's ageing rule prescribes.
-func (c *Controller) ageStageSet(sset *stageSet) {
-	sset.accSinceAge++
-	if sset.accSinceAge < c.cfg.StageAgeInterval {
+func (c *Controller) ageStageSet(ssi int) {
+	st := &c.stageState[ssi]
+	st.accSinceAge++
+	if st.accSinceAge < c.cfg.StageAgeInterval {
 		return
 	}
-	sset.accSinceAge = 0
-	sset.mruMissCnt >>= 1
-	for w := range sset.ways {
-		sset.ways[w].tag.MissCnt >>= 1
+	st.accSinceAge = 0
+	st.mruMissCnt >>= 1
+	for w := 0; w < c.geom.stageWays; w++ {
+		c.stageDir.Payload(ssi, w).tag.MissCnt >>= 1
 	}
 }
 
 // stageFind locates the (way, slot) whose range covers sub-block s of the
 // block at blkOff within super, or (-1, -1).
-func (c *Controller) stageFind(sset *stageSet, super hybrid.SuperBlockID, blkOff, s int) (int, int) {
-	for w := range sset.ways {
-		fr := &sset.ways[w]
+func (c *Controller) stageFind(ssi int, super hybrid.SuperBlockID, blkOff, s int) (int, int) {
+	for w := 0; w < c.geom.stageWays; w++ {
+		fr := c.stageDir.Payload(ssi, w)
 		if !fr.tag.Valid || fr.tag.Super != super {
 			continue
 		}
@@ -40,9 +41,9 @@ func (c *Controller) stageFind(sset *stageSet, super hybrid.SuperBlockID, blkOff
 
 // stageFindBlock returns a way staging any range of the given block, or -1.
 // Rule 3 guarantees at most one such way.
-func (c *Controller) stageFindBlock(sset *stageSet, super hybrid.SuperBlockID, blkOff int) int {
-	for w := range sset.ways {
-		fr := &sset.ways[w]
+func (c *Controller) stageFindBlock(ssi int, super hybrid.SuperBlockID, blkOff int) int {
+	for w := 0; w < c.geom.stageWays; w++ {
+		fr := c.stageDir.Payload(ssi, w)
 		if fr.tag.Valid && fr.tag.Super == super && len(fr.tag.BlockRanges(blkOff)) > 0 {
 			return w
 		}
@@ -56,20 +57,13 @@ func (c *Controller) removeStageSlot(fr *stageFrame, slot int) {
 	fr.data[slot] = nil
 }
 
-// stageVictimSlot applies the FIFO sub-block replacement policy: it frees
-// and returns a slot in the frame, writing the victim range back to slow
-// memory if dirty.
+// stageVictimSlot applies the sub-block half of the two-level policy
+// (hybrid.SlotFIFO): it frees and returns a slot in the frame, writing the
+// victim range back to slow memory if dirty.
 func (c *Controller) stageVictimSlot(now uint64, ssi, sw int) int {
-	sset := &c.stageSets[ssi]
-	fr := &sset.ways[sw]
-	slot := int(fr.tag.FIFO)
-	for i := 0; i < 8; i++ {
-		if fr.tag.Slots[slot].Valid {
-			break
-		}
-		slot = (slot + 1) % 8
-	}
-	fr.tag.FIFO = uint8((slot + 1) % 8)
+	fr := c.stageDir.Payload(ssi, sw)
+	slot, next := hybrid.SlotFIFO(fr.tag.FIFO, 8, func(i int) bool { return fr.tag.Slots[i].Valid })
+	fr.tag.FIFO = next
 	c.ctr.subReplacements.Inc()
 	c.writebackStageSlot(now, fr, slot)
 	c.removeStageSlot(fr, slot)
@@ -108,22 +102,22 @@ func (c *Controller) writeRangeToSlow(now uint64, b uint64, subOff, cf int, cont
 		}
 		c.ctr.compressedWritebacks.Inc()
 	}
-	wbDone := c.slow.AccessBackground(now, c.slowAddr(b, subOff), bytes, true)
+	wbDone := c.eng.WriteSlowBG(now, c.slowAddr(b, subOff), bytes)
 	c.ctr.latWriteback.Observe(wbDone - now)
-	if c.tracer != nil {
-		c.tracer.Span("writeback", "", now, wbDone)
+	if t := c.eng.Tracer(); t != nil {
+		t.Span("writeback", "", now, wbDone)
 	}
 }
 
 // chooseRange picks the maximal contiguous aligned range containing sub s of
 // block b that (a) does not overlap sub-blocks already staged for b and
 // (b) compresses into one sub-block slot. It returns (start, cf).
-func (c *Controller) chooseRange(sset *stageSet, super hybrid.SuperBlockID, blkOff int, b uint64, s int) (int, int) {
+func (c *Controller) chooseRange(ssi int, super hybrid.SuperBlockID, blkOff int, b uint64, s int) (int, int) {
 	if c.cfg.CompressionOff {
 		return s, 1
 	}
 	present := func(sub int) bool {
-		w, slot := c.stageFind(sset, super, blkOff, sub)
+		w, slot := c.stageFind(ssi, super, blkOff, sub)
 		return w >= 0 && slot >= 0
 	}
 	for _, cf := range []int{4, 2} {
@@ -191,16 +185,15 @@ func (c *Controller) blockAllZero(b uint64) bool {
 // stage frame (ssi, sw), applying the two-level replacement policy when the
 // frame is full. dirty marks freshly written data.
 func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, dirty bool) {
-	sset := &c.stageSets[ssi]
 	super := c.superOf(b)
 	blkOff := c.blkOff(b)
 	// Rule 3: if the block already has staged ranges, they pin the frame —
 	// re-resolve rather than trusting the caller, since an intervening
 	// block-level replacement may have moved them.
-	if pinned := c.stageFindBlock(sset, super, blkOff); pinned >= 0 {
+	if pinned := c.stageFindBlock(ssi, super, blkOff); pinned >= 0 {
 		sw = pinned
 	}
-	fr := &sset.ways[sw]
+	fr := c.stageDir.Payload(ssi, sw)
 	if !fr.tag.Valid || fr.tag.Super != super {
 		panic("core: stageInsertRange into a frame of another super-block")
 	}
@@ -214,14 +207,14 @@ func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, 
 			if slot < 0 {
 				return
 			}
-			fr = &sset.ways[sw]
+			fr = c.stageDir.Payload(ssi, sw)
 		}
 		fr.tag.Slots[slot] = metadata.Range{Valid: true, CF: 4, Zero: true, BlkOff: uint8(blkOff)}
 		fr.data[slot] = nil
 		return
 	}
 
-	start, cf := c.chooseRange(sset, super, blkOff, b, s)
+	start, cf := c.chooseRange(ssi, super, blkOff, b, s)
 	content := c.rangeContent(b, start, cf)
 
 	slot := fr.tag.FreeSlot()
@@ -230,7 +223,7 @@ func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, 
 		if slot < 0 {
 			return
 		}
-		fr = &sset.ways[sw]
+		fr = c.stageDir.Payload(ssi, sw)
 	}
 
 	fr.tag.Slots[slot] = metadata.Range{
@@ -250,28 +243,27 @@ func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, 
 		fetch = c.geom.subBytes
 	}
 	if fetch > 64 {
-		c.slow.AccessBackground(now, c.slowAddr(b, start), fetch-64, false) // demanded line already charged
+		c.eng.FetchSlow(now, c.slowAddr(b, start), fetch-64) // demanded line already charged
 	}
-	c.fast.AccessBackground(now, c.stageFrameAddr(ssi, sw, slot), c.geom.subBytes, true)
+	c.eng.FillFast(now, c.stageFrameAddr(ssi, sw, slot), c.geom.subBytes)
 }
 
 // stageFullSlot resolves a full target frame with the two-level policy of
-// Fig. 8: if the frame is the set's LRU way, do a sub-block (FIFO)
-// replacement inside it; otherwise evict the set's LRU way at block level
-// (through the selective commit policy), re-tag it for this super-block,
-// move block b's existing ranges into it (Rule 3), and return a free slot
-// there. sw is updated to the frame finally holding the block. Returns -1
-// when the single-way corner case cannot free a slot.
+// Fig. 8: if the frame is the set's block-level victim, do a sub-block
+// (SlotFIFO) replacement inside it; otherwise evict the victim way at block
+// level (through the selective commit policy), re-tag it for this
+// super-block, move block b's existing ranges into it (Rule 3), and return
+// a free slot there. sw is updated to the frame finally holding the block.
+// Returns -1 when the single-way corner case cannot free a slot.
 func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
-	sset := &c.stageSets[ssi]
-	lru := c.stageLRUWay(sset)
+	lru := c.stageDir.Victim(ssi, c.stageRep)
 
-	if !c.cfg.TwoLevelReplacement || lru == *sw || len(sset.ways) == 1 {
+	if !c.cfg.TwoLevelReplacement || lru == *sw || c.geom.stageWays == 1 {
 		// Sub-block-level replacement within the current frame.
 		return c.stageVictimSlot(now, ssi, *sw)
 	}
 
-	// Block-level replacement: the LRU way is committed or evicted, then
+	// Block-level replacement: the victim way is committed or evicted, then
 	// reused for this super-block.
 	c.ctr.blockReplacements.Inc()
 	c.finishStageFrame(now, ssi, lru)
@@ -279,12 +271,11 @@ func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
 	super := c.superOf(b)
 	blkOff := c.blkOff(b)
 	oldW := *sw
-	old := &sset.ways[oldW]
-	nw := &sset.ways[lru]
+	old := c.stageDir.Payload(ssi, oldW)
+	nm, nw := c.stageDir.Way(ssi, lru)
 	nw.tag = metadata.StageTag{Valid: true, Super: super}
 	nw.data = [8][]byte{}
-	nw.lastUse = c.seq
-	nw.allocSeq = c.seq
+	*nm = hybrid.WayMeta{Key: uint64(super), Valid: true, LastUse: c.seq, AllocSeq: c.seq}
 	nw.events = nw.events[:0]
 	nw.accesses = 0
 	nw.instStart = c.instructionsSeen
@@ -297,7 +288,7 @@ func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
 		nw.data[slot] = old.data[oldSlot]
 		c.removeStageSlot(old, oldSlot)
 		// Intra-fast-memory move traffic.
-		c.fast.AccessBackground(now, c.stageFrameAddr(ssi, lru, slot), c.geom.subBytes, true)
+		c.eng.FillFast(now, c.stageFrameAddr(ssi, lru, slot), c.geom.subBytes)
 		slot++
 	}
 	*sw = lru
@@ -308,35 +299,19 @@ func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
 	return slot // first free slot after the moved ranges
 }
 
-// stageLRUWay returns the least recently used way of a stage set.
-func (c *Controller) stageLRUWay(sset *stageSet) int {
-	lru := 0
-	for w := 1; w < len(sset.ways); w++ {
-		if !sset.ways[w].tag.Valid {
-			return w
-		}
-		if sset.ways[w].lastUse < sset.ways[lru].lastUse {
-			lru = w
-		}
-	}
-	return lru
-}
-
 // stageAllocate performs a block-level replacement to obtain a fresh frame
 // for super (case 5 with no frame holding the super-block). It returns the
 // way index, or -1 if allocation failed.
 func (c *Controller) stageAllocate(now uint64, ssi int, super hybrid.SuperBlockID) int {
-	sset := &c.stageSets[ssi]
-	w := c.stageLRUWay(sset)
-	if sset.ways[w].tag.Valid {
+	w := c.stageDir.Victim(ssi, c.stageRep)
+	m, fr := c.stageDir.Way(ssi, w)
+	if fr.tag.Valid {
 		c.ctr.blockReplacements.Inc()
 		c.finishStageFrame(now, ssi, w)
 	}
-	fr := &sset.ways[w]
 	fr.tag = metadata.StageTag{Valid: true, Super: super}
 	fr.data = [8][]byte{}
-	fr.lastUse = c.seq
-	fr.allocSeq = c.seq
+	*m = hybrid.WayMeta{Key: uint64(super), Valid: true, LastUse: c.seq, AllocSeq: c.seq}
 	fr.events = fr.events[:0]
 	fr.accesses = 0
 	fr.instStart = c.instructionsSeen

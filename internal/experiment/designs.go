@@ -8,6 +8,13 @@
 package experiment
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
 	"baryon/internal/baselines"
 	"baryon/internal/config"
 	"baryon/internal/core"
@@ -29,66 +36,225 @@ const (
 	DesignOSPaging  = "OSPaging"
 )
 
-// Designs lists every design name Factory accepts.
-func Designs() []string {
-	return []string{DesignSimple, DesignUnison, DesignDICE, DesignBaryon,
-		DesignBaryon64B, DesignBaryonFA, DesignHybrid2, DesignOSPaging}
+// Controller kinds a DesignSpec can name. A kind selects the controller
+// implementation; everything else about a design is configuration.
+const (
+	KindSimple   = "simple"
+	KindUnison   = "unison"
+	KindDICE     = "dice"
+	KindBaryon   = "baryon"
+	KindHybrid2  = "hybrid2"
+	KindOSPaging = "ospaging"
+)
+
+// PolicySpec holds controller policy knobs that are not Config fields.
+type PolicySpec struct {
+	// Replacement selects the replacement policy for kinds that expose one
+	// (simple, unison): "", "lru", "fifo", "random" or "two-level". Empty
+	// keeps the kind's default.
+	Replacement string `json:"replacement,omitempty"`
 }
 
-// IsDesign reports whether name is a design Factory accepts, letting tools
+// DesignSpec is the declarative definition of a design: a name, a
+// controller kind, the configuration overrides that distinguish it from the
+// base config, and policy knobs. Every design the harnesses and commands
+// run — built-in or loaded from a -design-file — is one of these; there is
+// no hardcoded design switch anywhere else.
+type DesignSpec struct {
+	Name      string           `json:"name"`
+	Kind      string           `json:"kind"`
+	Overrides config.Overrides `json:"overrides,omitempty"`
+	Policy    PolicySpec       `json:"policy,omitempty"`
+}
+
+// builtinSpecs declares the paper's designs. The baselines get the full
+// fast-memory capacity (they reserve no stage area); Baryon variants are
+// the baryon kind plus the overrides the paper names them by.
+var builtinSpecs = []DesignSpec{
+	{Name: DesignSimple, Kind: KindSimple},
+	{Name: DesignUnison, Kind: KindUnison},
+	{Name: DesignDICE, Kind: KindDICE},
+	{Name: DesignBaryon, Kind: KindBaryon},
+	{Name: DesignBaryon64B, Kind: KindBaryon, Overrides: config.Overrides{
+		BlockBytes:    config.Ptr[uint64](512),
+		SubBlockBytes: config.Ptr[uint64](64),
+	}},
+	{Name: DesignBaryonFA, Kind: KindBaryon, Overrides: config.Overrides{
+		FullyAssociative: config.Ptr(true),
+		Mode:             config.Ptr("flat"),
+	}},
+	{Name: DesignHybrid2, Kind: KindHybrid2},
+	{Name: DesignOSPaging, Kind: KindOSPaging},
+}
+
+var registry = struct {
+	sync.RWMutex
+	specs map[string]DesignSpec
+	order []string
+}{specs: make(map[string]DesignSpec)}
+
+func init() {
+	for _, s := range builtinSpecs {
+		if err := Register(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register adds a design to the registry. It rejects empty or duplicate
+// names, unknown kinds, and unknown replacement-policy names, so a bad
+// -design-file fails at load time rather than mid-run.
+func Register(spec DesignSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("experiment: design spec has no name")
+	}
+	switch spec.Kind {
+	case KindSimple, KindUnison, KindDICE, KindBaryon, KindHybrid2, KindOSPaging:
+	default:
+		return fmt.Errorf("experiment: design %q has unknown kind %q (want %s)",
+			spec.Name, spec.Kind, strings.Join(Kinds(), ", "))
+	}
+	if _, ok := hybrid.ReplacerByName(spec.Policy.Replacement, 0); !ok {
+		return fmt.Errorf("experiment: design %q has unknown replacement policy %q",
+			spec.Name, spec.Policy.Replacement)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.specs[spec.Name]; dup {
+		return fmt.Errorf("experiment: design %q already registered", spec.Name)
+	}
+	registry.specs[spec.Name] = spec
+	registry.order = append(registry.order, spec.Name)
+	return nil
+}
+
+// Kinds lists the controller kinds Register accepts.
+func Kinds() []string {
+	return []string{KindSimple, KindUnison, KindDICE, KindBaryon, KindHybrid2, KindOSPaging}
+}
+
+// Designs lists every registered design name: the built-ins in declaration
+// order, then any loaded designs in registration order.
+func Designs() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, len(registry.order))
+	copy(out, registry.order)
+	return out
+}
+
+// Lookup returns the registered spec for a design name.
+func Lookup(name string) (DesignSpec, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.specs[name]
+	return s, ok
+}
+
+// IsDesign reports whether name is a registered design, letting tools
 // validate user input up front instead of panicking mid-run.
 func IsDesign(name string) bool {
-	for _, d := range Designs() {
-		if d == name {
-			return true
-		}
-	}
-	return false
+	_, ok := Lookup(name)
+	return ok
 }
 
-// Factory returns the controller factory for a design name. The baselines
-// get the full fast-memory capacity (they reserve no stage area); Baryon
-// variants follow cfg.
-func Factory(design string) cpu.ControllerFactory {
-	switch design {
-	case DesignSimple:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats)
-		}
-	case DesignUnison:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed)
-		}
-	case DesignDICE:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency)
-		}
-	case DesignBaryon:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return core.New(cfg, store, stats)
-		}
-	case DesignBaryon64B:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			cfg.BlockBytes = 512
-			cfg.SubBlockBytes = 64
-			return core.New(cfg, store, stats)
-		}
-	case DesignBaryonFA:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			cfg.FullyAssociative = true
-			cfg.Mode = config.ModeFlat
-			return core.New(cfg, store, stats)
-		}
-	case DesignHybrid2:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewHybrid2(cfg, store, stats)
-		}
-	case DesignOSPaging:
-		return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewOSPaging(cfg.FastBytes, store, stats)
-		}
+// UnknownDesignError formats the standard rejection for an unregistered
+// design name, listing every registered name (shared by the commands so the
+// error reads the same everywhere).
+func UnknownDesignError(name string) error {
+	known := Designs()
+	sorted := make([]string, len(known))
+	copy(sorted, known)
+	sort.Strings(sorted)
+	return fmt.Errorf("unknown design %q; registered designs: %s",
+		name, strings.Join(sorted, ", "))
+}
+
+// LoadSpecFile reads a DesignSpec from a JSON file (the -design-file
+// format) and registers it. It returns the spec so callers can run it by
+// name.
+func LoadSpecFile(path string) (DesignSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return DesignSpec{}, err
 	}
-	panic("experiment: unknown design " + design)
+	var spec DesignSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return DesignSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := Register(spec); err != nil {
+		return DesignSpec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// SaveSpecFile writes a DesignSpec as indented JSON, the format
+// LoadSpecFile reads back.
+func SaveSpecFile(path string, spec DesignSpec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FactorySpec returns the controller factory for a spec: it applies the
+// spec's config overrides, builds the kind's controller on the shared kit,
+// and applies the policy knobs.
+func FactorySpec(spec DesignSpec) cpu.ControllerFactory {
+	return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+		if err := spec.Overrides.Apply(&cfg); err != nil {
+			panic("experiment: design " + spec.Name + ": " + err.Error())
+		}
+		ctrl := buildKind(spec, cfg, store, stats)
+		if spec.Policy.Replacement != "" {
+			applyReplacement(spec, ctrl, cfg.Seed)
+		}
+		return ctrl
+	}
+}
+
+func buildKind(spec DesignSpec, cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+	switch spec.Kind {
+	case KindSimple:
+		return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats)
+	case KindUnison:
+		return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed)
+	case KindDICE:
+		return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency)
+	case KindBaryon:
+		return core.New(cfg, store, stats)
+	case KindHybrid2:
+		return baselines.NewHybrid2(cfg, store, stats)
+	case KindOSPaging:
+		return baselines.NewOSPaging(cfg.FastBytes, store, stats)
+	}
+	panic("experiment: unknown kind " + spec.Kind)
+}
+
+// applyReplacement wires the spec's replacement policy into controllers
+// that expose one via SetReplacer.
+func applyReplacement(spec DesignSpec, ctrl hybrid.Controller, seed uint64) {
+	r, ok := hybrid.ReplacerByName(spec.Policy.Replacement, seed)
+	if !ok {
+		panic("experiment: design " + spec.Name + ": unknown replacement policy " + spec.Policy.Replacement)
+	}
+	s, ok := ctrl.(interface{ SetReplacer(hybrid.Replacer) })
+	if !ok {
+		panic("experiment: design " + spec.Name + ": kind " + spec.Kind + " has no replacement-policy knob")
+	}
+	s.SetReplacer(r)
+}
+
+// Factory returns the controller factory for a registered design name.
+func Factory(design string) cpu.ControllerFactory {
+	spec, ok := Lookup(design)
+	if !ok {
+		panic("experiment: unknown design " + design)
+	}
+	return FactorySpec(spec)
 }
 
 // RunOne executes one (workload, design) pair and returns its metrics.

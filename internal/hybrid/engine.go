@@ -1,0 +1,136 @@
+package hybrid
+
+import (
+	"baryon/internal/mem"
+	"baryon/internal/obs"
+	"baryon/internal/sim"
+)
+
+// Engine is the shared migration/writeback engine of the controller kit: it
+// owns the two memory devices of the hybrid system and issues all fast/slow
+// traffic on behalf of a controller, with the instrumentation middleware —
+// the per-design "lat.fastHit"/"lat.slowPath" read-latency histograms, the
+// writeback counter and the request-lifecycle tracer hooks — attached once
+// here instead of being re-implemented by every controller.
+//
+// Demand reads go through FastRead/SlowRead (critical path, returns the
+// completion cycle); fills, writebacks and migrations go through the
+// background methods, which model traffic that drains into idle bus cycles
+// (see mem.Device.AccessBackground).
+type Engine struct {
+	fast, slow *mem.Device
+
+	latFast, latSlow *sim.Histogram
+	writebacks       *sim.Counter
+	tracer           *obs.Tracer
+}
+
+// NewEngine builds the engine and its two devices, registering device
+// counters on stats (fast first, then slow, matching every controller's
+// historical registration order).
+func NewEngine(fastCfg, slowCfg mem.Config, stats *sim.Stats) *Engine {
+	return &Engine{
+		fast: mem.NewDevice(fastCfg, stats),
+		slow: mem.NewDevice(slowCfg, stats),
+	}
+}
+
+// InstrumentLatency registers the kit's read-latency histograms under the
+// controller's scope: "lat.fastHit" for reads served by the fast tier and
+// "lat.slowPath" for reads that went to slow memory. The histograms are
+// returned for controllers that observe them directly.
+func (e *Engine) InstrumentLatency(scope *sim.Stats) (latFast, latSlow *sim.Histogram) {
+	e.latFast = scope.Histogram("lat.fastHit")
+	e.latSlow = scope.Histogram("lat.slowPath")
+	return e.latFast, e.latSlow
+}
+
+// CountWritebacks points the engine's Writeback method at the controller's
+// writeback counter (each controller registers it among its own counters so
+// counter order is design-controlled).
+func (e *Engine) CountWritebacks(c *sim.Counter) { e.writebacks = c }
+
+// Fast returns the fast-memory device.
+func (e *Engine) Fast() *mem.Device { return e.fast }
+
+// Slow returns the slow-memory device.
+func (e *Engine) Slow() *mem.Device { return e.slow }
+
+// SetTracer attaches a request-lifecycle tracer to the engine and both
+// devices. Nil detaches.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.tracer = t
+	e.fast.SetTracer(t)
+	e.slow.SetTracer(t)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Decision records the controller's access-flow case for the current
+// sampled request as an instant event (no-op when tracing is off).
+func (e *Engine) Decision(now uint64, cat string) {
+	if e.tracer != nil {
+		e.tracer.Instant("decision", cat, now)
+	}
+}
+
+// LatFast records the end-to-end latency of a read served by the fast tier.
+func (e *Engine) LatFast(now, done uint64) { e.latFast.Observe(done - now) }
+
+// LatSlow records the end-to-end latency of a read served by the slow tier.
+func (e *Engine) LatSlow(now, done uint64) { e.latSlow.Observe(done - now) }
+
+// ObserveFast records a fast-tier read: latency histogram plus the decision
+// instant (cat names the controller's case, e.g. "hit", "subHit").
+func (e *Engine) ObserveFast(now, done uint64, cat string) {
+	e.latFast.Observe(done - now)
+	e.Decision(now, cat)
+}
+
+// ObserveSlow records a slow-tier read.
+func (e *Engine) ObserveSlow(now, done uint64, cat string) {
+	e.latSlow.Observe(done - now)
+	e.Decision(now, cat)
+}
+
+// FastRead is a demand read from fast memory issued at cycle issue.
+func (e *Engine) FastRead(issue, addr, size uint64) uint64 {
+	return e.fast.Access(issue, addr, size, false)
+}
+
+// SlowRead is a demand read from slow memory issued at cycle issue.
+func (e *Engine) SlowRead(issue, addr, size uint64) uint64 {
+	return e.slow.Access(issue, addr, size, false)
+}
+
+// FillFast writes size bytes into fast memory in the background (fills,
+// commits, posted write hits).
+func (e *Engine) FillFast(now, addr, size uint64) uint64 {
+	return e.fast.AccessBackground(now, addr, size, true)
+}
+
+// ReadFastBG reads fast memory off the critical path (stage reads during
+// commits, probe traffic).
+func (e *Engine) ReadFastBG(now, addr, size uint64) uint64 {
+	return e.fast.AccessBackground(now, addr, size, false)
+}
+
+// FetchSlow reads size bytes from slow memory in the background (block and
+// range fills).
+func (e *Engine) FetchSlow(now, addr, size uint64) uint64 {
+	return e.slow.AccessBackground(now, addr, size, false)
+}
+
+// WriteSlowBG writes slow memory in the background without counting a
+// writeback (posted demand writes, partial-line updates).
+func (e *Engine) WriteSlowBG(now, addr, size uint64) uint64 {
+	return e.slow.AccessBackground(now, addr, size, true)
+}
+
+// Writeback writes a dirty victim's bytes to slow memory in the background
+// and counts one writeback (the per-design "writebacks" counter).
+func (e *Engine) Writeback(now, addr, size uint64) uint64 {
+	e.writebacks.Inc()
+	return e.slow.AccessBackground(now, addr, size, true)
+}

@@ -353,6 +353,7 @@ func (d *Device) Reset() {
 		}
 	}
 	d.maxQueueing = 0
+	d.dbgChan, d.dbgBank, d.dbgSpill = 0, 0, 0
 }
 
 // accessDetailed serves one demand access through the protocol engine,
