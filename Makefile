@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench check
+.PHONY: build vet lint test race bench fuzz-smoke cancel-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -40,4 +40,19 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench SingleRun -benchmem -benchtime 2x .
 
-check: build vet lint race bench
+# Short native-fuzz bursts over the compressor round-trips and the
+# design-file Overrides schema (go test allows one -fuzz target per
+# invocation, hence the loop).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	for t in FuzzFPCRoundTrip FuzzBDIRoundTrip FuzzCPackRoundTrip; do \
+		$(GO) test ./internal/compress -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	$(GO) test ./internal/config -run '^$$' -fuzz FuzzOverridesJSON -fuzztime $(FUZZTIME)
+
+# End-to-end graceful-shutdown check: SIGINT a running sweep, assert a valid
+# partial CSV + non-zero exit (see scripts/cancel_smoke.sh).
+cancel-smoke:
+	sh scripts/cancel_smoke.sh
+
+check: build vet lint race bench fuzz-smoke cancel-smoke

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,7 +15,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
@@ -40,6 +44,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write sampled request lifecycles as Chrome trace_event JSON to this file (enables tracing)")
 	traceSample := flag.Uint64("trace-sample", 64, "with -trace-out, sample 1 in N requests (1 = every request)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /runz live run status on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the run stops and exits non-zero")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort if the run makes no progress for this long (0 = off)")
 	verbose := flag.Bool("v", false, "dump every raw counter")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -135,9 +141,12 @@ func main() {
 		tr = obs.NewTracer(*traceSample, 0)
 		r.SetTracer(tr)
 	}
-	if *debugAddr != "" {
-		in := &obs.Introspector{}
+	var in *obs.Introspector
+	if *debugAddr != "" || *stallTimeout > 0 {
+		in = &obs.Introspector{}
 		r.SetIntrospector(in, 0)
+	}
+	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
@@ -151,8 +160,38 @@ func main() {
 		}()
 	}
 
-	res := r.Run()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *stallTimeout > 0 {
+		// The watchdog watches the introspector's progress heartbeats and
+		// cancels the run when they freeze: a wedged run dies with a
+		// diagnostic instead of hanging forever.
+		ctx2, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ctx = ctx2
+		wd := obs.NewWatchdog(in, *stallTimeout, func(last *obs.RunStatus) {
+			if last != nil {
+				fmt.Fprintf(os.Stderr, "stall watchdog: no progress for %s (stuck at %d/%d accesses, phase %s, last update %s)\n",
+					*stallTimeout, last.Accesses, last.TargetAccesses, last.Phase,
+					last.UpdatedAt.Format(time.RFC3339))
+			} else {
+				fmt.Fprintf(os.Stderr, "stall watchdog: no progress for %s (no status ever published)\n", *stallTimeout)
+			}
+			cancel()
+		})
+		defer wd.Stop()
+	}
+
+	res, runErr := r.RunCtx(ctx)
 	res.Design = *design
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "run stopped early: %v (reporting partial metrics)\n", runErr)
+	}
 	if tr != nil {
 		if err := writeTrace(*traceOut, tr); err != nil {
 			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
@@ -202,6 +241,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if runErr != nil {
+			os.Exit(1)
+		}
 		return
 	}
 	fmt.Printf("workload:        %s\n", res.Workload)
@@ -240,6 +282,9 @@ func main() {
 		}
 		fmt.Println("\ncounters:")
 		fmt.Print(res.Stats.String())
+	}
+	if runErr != nil {
+		os.Exit(1)
 	}
 }
 

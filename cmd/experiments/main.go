@@ -5,13 +5,22 @@
 //	go run ./cmd/experiments            # full regeneration (~10-20 minutes)
 //	go run ./cmd/experiments -quick     # fast pass
 //	go run ./cmd/experiments -only fig9
+//
+// The runner is resilient: an experiment that fails is reported and skipped
+// while the rest complete; SIGINT, SIGTERM or -timeout stop the current
+// experiment gracefully and flush everything already rendered. The exit
+// status is 0 only when every selected experiment completed.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"baryon/internal/config"
@@ -20,10 +29,23 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use a reduced access budget per core")
-	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat")
+	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat|resilience")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry remaining experiments are cancelled and the exit status is non-zero")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// The figure harnesses run through the legacy strict entry points;
+	// installing the command's context makes all of them cancellable at the
+	// worker-pool level.
+	experiment.SetRunContext(ctx)
 
 	experiment.SetParallelism(*parallel)
 
@@ -60,18 +82,36 @@ func main() {
 		{"osvshw", func() *experiment.Table { _, t := experiment.OSvsHW(cfg); return t }},
 		{"ddrfidelity", func() *experiment.Table { _, t := experiment.DDRFidelitySweep(cfg); return t }},
 		{"taillat", func() *experiment.Table { return experiment.TailLatency(cfg) }},
+		{"resilience", func() *experiment.Table { _, t := experiment.Resilience(cfg); return t }},
 	}
 
 	// Buffer stdout and check the flush: a deferred or implicit flush would
 	// silently drop tables on a full disk or broken pipe.
 	out := bufio.NewWriter(os.Stdout)
-	ran := 0
+	ran, failed, skipped := 0, 0, 0
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
 			continue
 		}
+		if ctx.Err() != nil {
+			skipped++
+			continue
+		}
 		start := time.Now()
-		table := e.run()
+		table, err := runIsolated(e.run)
+		if err != nil {
+			// A cancelled worker pool surfaces as a panic from the strict
+			// entry points; classify it by the context state.
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "[%s cancelled after %.1fs]\n", e.name, time.Since(start).Seconds())
+				skipped++
+				continue
+			}
+			failed++
+			fmt.Fprintf(os.Stderr, "[%s FAILED after %.1fs: %s]\n",
+				e.name, time.Since(start).Seconds(), firstLine(err.Error()))
+			continue
+		}
 		table.Render(out)
 		if err := out.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -80,8 +120,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", e.name, time.Since(start).Seconds())
 		ran++
 	}
-	if ran == 0 {
+	if ran+failed+skipped == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+	fmt.Fprintf(os.Stderr, "experiments: %d ok, %d failed, %d cancelled\n", ran, failed, skipped)
+	if failed > 0 || skipped > 0 || ctx.Err() != nil {
+		os.Exit(1)
+	}
+}
+
+// runIsolated runs one experiment harness behind a panic boundary so a bad
+// run (or a cancelled worker pool escalating through the strict entry
+// points) fails only that experiment.
+func runIsolated(run func() *experiment.Table) (t *experiment.Table, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%v", rec)
+		}
+	}()
+	return run(), nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

@@ -4,15 +4,26 @@
 //
 //	go run ./cmd/sweep -designs Baryon,DICE -workloads 505.mcf_r,pr.twi
 //	go run ./cmd/sweep -mode flat -designs Hybrid2,Baryon-FA > flat.csv
+//
+// The sweep is resilient: a run that fails (bad design spec, panic in a
+// controller) emits an error row and the rest of the grid completes; SIGINT,
+// SIGTERM or -timeout cancel the remaining runs gracefully, flushing every
+// completed row before exiting. The exit status is 0 only when every run
+// succeeded.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
@@ -20,16 +31,36 @@ import (
 )
 
 func main() {
-	designs := flag.String("designs", "Simple,UnisonCache,DICE,Baryon-64B,Baryon",
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags in, CSV to stdout,
+// diagnostics to stderr, exit code out. Cancelling ctx (the signal handler,
+// -timeout, or a test) stops new runs and flushes the partial CSV.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	designs := fs.String("designs", "Simple,UnisonCache,DICE,Baryon-64B,Baryon",
 		"comma-separated design list")
-	designFiles := flag.String("design-files", "",
+	designFiles := fs.String("design-files", "",
 		"comma-separated JSON DesignSpec files; loaded designs are appended to the sweep")
-	workloads := flag.String("workloads", "", "comma-separated workload list (default: all)")
-	mode := flag.String("mode", "cache", "cache|flat")
-	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
-	seeds := flag.String("seeds", "1", "comma-separated seeds (rows per seed)")
-	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
-	flag.Parse()
+	workloads := fs.String("workloads", "", "comma-separated workload list (default: all)")
+	mode := fs.String("mode", "cache", "cache|flat")
+	accesses := fs.Int("accesses", 0, "accesses per core (0 = config default)")
+	seeds := fs.String("seeds", "1", "comma-separated seeds (rows per seed)")
+	parallel := fs.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the sweep flushes completed rows and exits non-zero")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	experiment.SetParallelism(*parallel)
 
@@ -48,21 +79,21 @@ func main() {
 		for _, name := range strings.Split(*workloads, ",") {
 			w, ok := trace.ByName(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "unknown workload %q\n", name)
+				return 2
 			}
 			ws = append(ws, w)
 		}
 	}
 
 	// Validate the design list before any output: an unknown design would
-	// otherwise panic inside the factory halfway through the CSV.
+	// otherwise waste the whole sweep on error rows.
 	var ds []string
 	for _, d := range strings.Split(*designs, ",") {
 		d = strings.TrimSpace(d)
 		if !experiment.IsDesign(d) {
-			fmt.Fprintln(os.Stderr, experiment.UnknownDesignError(d))
-			os.Exit(2)
+			fmt.Fprintln(stderr, experiment.UnknownDesignError(d))
+			return 2
 		}
 		ds = append(ds, d)
 	}
@@ -70,8 +101,8 @@ func main() {
 		for _, path := range strings.Split(*designFiles, ",") {
 			spec, err := experiment.LoadSpecFile(strings.TrimSpace(path))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "loading design file: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "loading design file: %v\n", err)
+				return 2
 			}
 			ds = append(ds, spec.Name)
 		}
@@ -81,21 +112,22 @@ func main() {
 	for _, s := range strings.Split(*seeds, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad seed %q\n", s)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "bad seed %q\n", s)
+			return 2
 		}
 		seedList = append(seedList, v)
 	}
 
-	out := csv.NewWriter(os.Stdout)
-	header := []string{"workload", "design", "mode", "seed", "cycles",
+	out := csv.NewWriter(stdout)
+	header := []string{"workload", "design", "mode", "seed", "status", "cycles",
 		"instructions", "ipc", "fastServeRate", "bloatFactor",
 		"fastBytes", "slowBytes", "energyPJ",
-		"memLatP50", "memLatP99", "memLatMax"}
+		"memLatP50", "memLatP99", "memLatMax", "error"}
 	if err := out.Write(header); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	var okCount, failed, cancelled int
 	for _, seed := range seedList {
 		cfg.Seed = seed
 		// One seed's whole workload x design grid fans out across the
@@ -106,11 +138,24 @@ func main() {
 				pairs = append(pairs, experiment.Pair{Cfg: cfg, Workload: w, Design: d})
 			}
 		}
-		results := experiment.RunPairs(pairs)
-		for i, res := range results {
+		results := experiment.RunPairsCtx(ctx, pairs)
+		for i, pr := range results {
+			res := pr.Result
+			status := "ok"
+			switch {
+			case pr.Err == nil:
+				okCount++
+			case errors.Is(pr.Err, context.Canceled) || errors.Is(pr.Err, context.DeadlineExceeded):
+				status = "cancelled"
+				cancelled++
+			default:
+				status = "error"
+				failed++
+			}
 			row := []string{
-				res.Workload, pairs[i].Design, cfg.Mode.String(),
+				pairs[i].Workload.Name, pairs[i].Design, cfg.Mode.String(),
 				strconv.FormatUint(seed, 10),
+				status,
 				strconv.FormatUint(res.Cycles, 10),
 				strconv.FormatUint(res.Instructions, 10),
 				fmt.Sprintf("%.4f", res.IPC()),
@@ -122,17 +167,46 @@ func main() {
 				fmt.Sprintf("%.1f", res.Measured.MemLat.P50),
 				fmt.Sprintf("%.1f", res.Measured.MemLat.P99),
 				strconv.FormatUint(res.Measured.MemLat.Max, 10),
+				errorCell(pr.Err),
 			}
 			if err := out.Write(row); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if pr.Err != nil && status == "error" {
+				fmt.Fprintf(stderr, "sweep: %s/%s seed %d failed: %s\n",
+					pairs[i].Workload.Name, pairs[i].Design, seed, firstLine(pr.Err.Error()))
 			}
 		}
 		out.Flush()
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	out.Flush()
 	if err := out.Error(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	fmt.Fprintf(stderr, "sweep: %d ok, %d failed, %d cancelled\n", okCount, failed, cancelled)
+	if failed > 0 || cancelled > 0 || ctx.Err() != nil {
+		return 1
+	}
+	return 0
+}
+
+// errorCell renders an error as a single-line CSV cell; panics carry a
+// multi-line stack we collapse to the headline.
+func errorCell(err error) string {
+	if err == nil {
+		return ""
+	}
+	return firstLine(err.Error())
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

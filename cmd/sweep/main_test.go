@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeSpec writes a JSON DesignSpec with a unique name to dir and returns
+// its path. BlockBytes 0 passes load-time validation but panics in the
+// factory — the poisoned-pair shape the resilient sweep must contain.
+func writePoisonedSpec(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name+".json")
+	spec := `{"name": "` + name + `", "kind": "baryon", "overrides": {"blockBytes": 0}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// parseCSV asserts the sweep output is valid CSV and returns the rows
+// (header included). encoding/csv errors on ragged rows, so a truncated or
+// corrupt flush fails here.
+func parseCSV(t *testing.T, out []byte) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("sweep emitted invalid CSV: %v\noutput:\n%s", err, out)
+	}
+	if len(rows) == 0 {
+		t.Fatal("sweep emitted no CSV at all")
+	}
+	return rows
+}
+
+func statusCounts(rows [][]string) map[string]int {
+	counts := map[string]int{}
+	for _, row := range rows[1:] {
+		counts[row[4]]++ // status column
+	}
+	return counts
+}
+
+// TestSweepPanicIsolation runs a small sweep with one poisoned design: the
+// healthy runs complete with ok rows, the poisoned run gets an error row,
+// the per-pair error reaches stderr, and the exit status is non-zero.
+func TestSweepPanicIsolation(t *testing.T) {
+	spec := writePoisonedSpec(t, t.TempDir(), "Poisoned-SweepErr")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-workloads", "505.mcf_r",
+		"-designs", "Simple",
+		"-design-files", spec,
+		"-accesses", "500",
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("sweep with a poisoned design exited 0\nstderr: %s", errb.String())
+	}
+	rows := parseCSV(t, out.Bytes())
+	counts := statusCounts(rows)
+	if counts["ok"] != 1 || counts["error"] != 1 {
+		t.Fatalf("status counts = %v, want 1 ok + 1 error\ncsv:\n%s", counts, out.String())
+	}
+	if !strings.Contains(errb.String(), "Poisoned-SweepErr") {
+		t.Fatalf("stderr does not report the failed pair:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "1 ok, 1 failed, 0 cancelled") {
+		t.Fatalf("stderr missing summary:\n%s", errb.String())
+	}
+}
+
+// TestSweepGracefulCancellation starts a long sweep with a poisoned pair and
+// a short -timeout: the command must still flush a valid partial CSV with
+// the error row and cancelled rows, report the counts, and exit non-zero —
+// the automated form of the mid-run SIGINT contract (main wires SIGINT to
+// the same context this test cancels via the timeout).
+func TestSweepGracefulCancellation(t *testing.T) {
+	spec := writePoisonedSpec(t, t.TempDir(), "Poisoned-SweepCancel")
+	var out, errb bytes.Buffer
+	start := time.Now()
+	code := run(context.Background(), []string{
+		"-workloads", "505.mcf_r",
+		"-designs", "Simple,UnisonCache",
+		"-design-files", spec,
+		"-accesses", "300000",
+		"-seeds", "1,2,3",
+		"-parallel", "3", // every pair of a seed starts, so the poisoned one panics before the timeout
+		"-timeout", "2s",
+	}, &out, &errb)
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("cancelled sweep still took %s", elapsed)
+	}
+	if code == 0 {
+		t.Fatalf("cancelled sweep exited 0\nstderr: %s", errb.String())
+	}
+	rows := parseCSV(t, out.Bytes())
+	counts := statusCounts(rows)
+	if counts["error"] == 0 {
+		t.Fatalf("poisoned pair not reported: %v\ncsv:\n%s", counts, out.String())
+	}
+	if counts["cancelled"] == 0 {
+		t.Fatalf("no cancelled rows after timeout: %v\ncsv:\n%s", counts, out.String())
+	}
+	if !strings.Contains(errb.String(), "cancelled") {
+		t.Fatalf("stderr missing cancellation summary:\n%s", errb.String())
+	}
+}
+
+// TestSweepCleanRun pins the healthy path: all rows ok, exit 0.
+func TestSweepCleanRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-workloads", "505.mcf_r",
+		"-designs", "Simple",
+		"-accesses", "500",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clean sweep exited %d\nstderr: %s", code, errb.String())
+	}
+	rows := parseCSV(t, out.Bytes())
+	counts := statusCounts(rows)
+	if counts["ok"] != 1 || len(counts) != 1 {
+		t.Fatalf("status counts = %v, want only ok rows", counts)
+	}
+}

@@ -75,6 +75,9 @@ func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompress
 // Name identifies the design.
 func (d *DICE) Name() string { return "DICE" }
 
+// Engine returns the shared migration/writeback engine (hybrid.EngineProvider).
+func (d *DICE) Engine() *hybrid.Engine { return d.eng }
+
 // Stats returns the counter collection.
 func (d *DICE) Stats() *sim.Stats { return d.stats }
 

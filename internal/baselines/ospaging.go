@@ -80,6 +80,9 @@ func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPag
 // Name identifies the design.
 func (o *OSPaging) Name() string { return "OSPaging" }
 
+// Engine returns the shared migration/writeback engine (hybrid.EngineProvider).
+func (o *OSPaging) Engine() *hybrid.Engine { return o.eng }
+
 // Stats returns the counter collection.
 func (o *OSPaging) Stats() *sim.Stats { return o.stats }
 

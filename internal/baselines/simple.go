@@ -78,6 +78,9 @@ func NewSimple(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 // Name identifies the design.
 func (s *Simple) Name() string { return "Simple" }
 
+// Engine returns the shared migration/writeback engine (hybrid.EngineProvider).
+func (s *Simple) Engine() *hybrid.Engine { return s.eng }
+
 // Stats returns the counter collection.
 func (s *Simple) Stats() *sim.Stats { return s.stats }
 

@@ -93,6 +93,9 @@ func NewUnison(fastBlocks uint64, assoc int, store *hybrid.Store, stats *sim.Sta
 // Name identifies the design.
 func (u *Unison) Name() string { return "UnisonCache" }
 
+// Engine returns the shared migration/writeback engine (hybrid.EngineProvider).
+func (u *Unison) Engine() *hybrid.Engine { return u.eng }
+
 // Stats returns the counter collection.
 func (u *Unison) Stats() *sim.Stats { return u.stats }
 

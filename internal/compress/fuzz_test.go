@@ -1,0 +1,81 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzInput shapes raw fuzz bytes into a legal compressor input: truncated
+// to a whole number of 8-byte words (every algorithm's strictest alignment)
+// and capped at 2 kB (a Baryon block). Empty after truncation is skipped.
+func fuzzInput(data []byte) []byte {
+	if len(data) > 2048 {
+		data = data[:2048]
+	}
+	return data[:len(data)/8*8]
+}
+
+// FuzzFPCRoundTrip checks Compress/Decompress inverse-ness and the
+// CompressedSize contract on arbitrary word-aligned input.
+func FuzzFPCRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xff, 0, 0, 0}, 16))
+	f.Add([]byte("the quick brown fox jumps over the dogs!"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		data := fuzzInput(raw)
+		if len(data) == 0 {
+			t.Skip()
+		}
+		var c FPC
+		comp := c.Compress(data)
+		if got := c.CompressedSize(data); got != len(comp) {
+			t.Fatalf("CompressedSize=%d but Compress produced %d bytes", got, len(comp))
+		}
+		back := c.Decompress(comp, len(data))
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data, back)
+		}
+	})
+}
+
+// FuzzBDIRoundTrip does the same for BDI.
+func FuzzBDIRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		data := fuzzInput(raw)
+		if len(data) == 0 {
+			t.Skip()
+		}
+		var c BDI
+		comp := c.Compress(data)
+		if got := c.CompressedSize(data); got != len(comp) {
+			t.Fatalf("CompressedSize=%d but Compress produced %d bytes", got, len(comp))
+		}
+		back := c.Decompress(comp, len(data))
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data, back)
+		}
+	})
+}
+
+// FuzzCPackRoundTrip does the same for C-Pack.
+func FuzzCPackRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 16))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		data := fuzzInput(raw)
+		if len(data) == 0 {
+			t.Skip()
+		}
+		var c CPack
+		comp := c.Compress(data)
+		if got := c.CompressedSize(data); got != len(comp) {
+			t.Fatalf("CompressedSize=%d but Compress produced %d bytes", got, len(comp))
+		}
+		back := c.Decompress(comp, len(data))
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch:\n in  %x\n out %x", data, back)
+		}
+	})
+}

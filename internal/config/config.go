@@ -7,7 +7,10 @@
 // block/sub-block/super-block sizes preserved.
 package config
 
-import "baryon/internal/hybrid"
+import (
+	"baryon/internal/fault"
+	"baryon/internal/hybrid"
+)
 
 // Mode selects how the fast memory is used (Section II-A).
 type Mode int
@@ -101,6 +104,11 @@ type Config struct {
 	// Result.Epochs. 0 disables epoch collection.
 	EpochAccesses int
 	Seed          uint64
+
+	// Fault configures device fault injection and the ECC degradation path
+	// (internal/fault). The zero value — the default everywhere — disables
+	// injection entirely and keeps runs byte-identical to historical output.
+	Fault fault.Config
 }
 
 // Scaled returns the default configuration for timing runs: Table I scaled

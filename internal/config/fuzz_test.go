@@ -1,0 +1,47 @@
+package config
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzOverridesJSON throws arbitrary JSON at the -design-file Overrides
+// schema: anything that decodes must Apply to the base config without
+// panicking, and the applied-then-marshalled form must decode again
+// (no write-only states).
+func FuzzOverridesJSON(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"mode": "flat", "blockBytes": 512, "subBlockBytes": 64}`)
+	f.Add(`{"commitK": -1, "fullyAssociative": true}`)
+	f.Add(`{"fault": {"slow": {"ber": 1e-4, "stuckAt": [{"addr": 0, "size": 4096}]}, "eccCorrectBits": 2}}`)
+	f.Add(`{"mode": "bogus"}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var o Overrides
+		if err := dec.Decode(&o); err != nil {
+			t.Skip() // invalid JSON or unknown fields: rejected at load time
+		}
+		cfg := Scaled()
+		if err := o.Apply(&cfg); err != nil {
+			// The only representable-but-invalid state is a bad mode string;
+			// anything else erroring means Apply grew an undocumented
+			// failure path.
+			if o.Mode == nil {
+				t.Fatalf("Apply failed without a mode override: %v", err)
+			}
+			return
+		}
+		// The applied overrides must survive re-marshalling: Overrides is
+		// the serialized half of a design spec.
+		out, err := json.Marshal(&o)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var o2 Overrides
+		if err := json.Unmarshal(out, &o2); err != nil {
+			t.Fatalf("re-decode of marshalled overrides failed: %v\njson: %s", err, out)
+		}
+	})
+}

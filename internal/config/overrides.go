@@ -1,6 +1,10 @@
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"baryon/internal/fault"
+)
 
 // Overrides is a partial Config: every field is a pointer, and only non-nil
 // fields are applied. It is the serializable half of a design spec — a
@@ -45,6 +49,11 @@ type Overrides struct {
 	NoLLCPrefetch *bool    `json:"noLLCPrefetch,omitempty"`
 	SlowMemory    *string  `json:"slowMemory,omitempty"`
 	DetailedDDR   *bool    `json:"detailedDDR,omitempty"`
+
+	// Fault replaces the run's fault-injection config wholesale (a partial
+	// merge of nested fault fields would be ambiguous between "unset" and
+	// "zero").
+	Fault *fault.Config `json:"fault,omitempty"`
 }
 
 // Apply copies every non-nil override onto c. It returns an error only for
@@ -91,6 +100,7 @@ func (o *Overrides) Apply(c *Config) error {
 	setIf(&c.NoLLCPrefetch, o.NoLLCPrefetch)
 	setIf(&c.SlowMemory, o.SlowMemory)
 	setIf(&c.DetailedDDR, o.DetailedDDR)
+	setIf(&c.Fault, o.Fault)
 	return nil
 }
 

@@ -338,6 +338,9 @@ func (c *Controller) stageFrameAddr(setIdx, way, slot int) uint64 {
 	return c.stageBase + frame*c.geom.blockBytes + uint64(slot)*c.geom.subBytes
 }
 
+// Engine returns the shared migration/writeback engine (hybrid.EngineProvider).
+func (c *Controller) Engine() *hybrid.Engine { return c.eng }
+
 // Name identifies the configuration for reports.
 func (c *Controller) Name() string {
 	switch {

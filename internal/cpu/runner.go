@@ -8,6 +8,7 @@
 package cpu
 
 import (
+	"context"
 	"time"
 
 	"baryon/internal/cache"
@@ -266,6 +267,13 @@ type Runner struct {
 	// copies, never the live registry).
 	intro         *obs.Introspector
 	progressEvery uint64
+
+	// ctxDone is the cancellation channel of the RunCtx context; nil (the
+	// Run path, or a Background context) skips the cancellation checks
+	// entirely so uncancellable runs stay bit-identical. aborted records
+	// that a window stopped early.
+	ctxDone <-chan struct{}
+	aborted bool
 }
 
 // ControllerFactory builds a controller over a canonical store.
@@ -360,8 +368,23 @@ func (r *Runner) runWindow(st *runState, perCore int, epochEvery uint64, onEpoch
 	for c := 0; c < cores; c++ {
 		st.ready.push(coreClock{time: st.clock[c], core: int32(c)})
 	}
-	var sinceEpoch, sinceProgress uint64
+	var sinceEpoch, sinceProgress, sinceCancel uint64
 	for len(st.ready) > 0 {
+		if r.ctxDone != nil {
+			// Poll cancellation every 1024 accesses: cheap enough to be
+			// invisible, frequent enough that SIGINT lands within
+			// milliseconds of wall time.
+			sinceCancel++
+			if sinceCancel >= 1024 {
+				sinceCancel = 0
+				select {
+				case <-r.ctxDone:
+					r.aborted = true
+					return
+				default:
+				}
+			}
+		}
 		core := int(st.ready[0].core)
 		acc := st.streams[core].Next()
 		addr := acc.Addr % st.osBytes &^ (hybrid.CachelineSize - 1)
@@ -484,6 +507,17 @@ func (r *Runner) windowSince(m mark, st *runState) Window {
 // each core and returns measurement-window metrics, plus the per-epoch
 // time-series when cfg.EpochAccesses > 0.
 func (r *Runner) Run() Result {
+	res, _ := r.RunCtx(context.Background())
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled the
+// replay stops within ~1024 accesses and RunCtx returns the metrics
+// accumulated so far together with ctx's error. A context that cannot be
+// cancelled (context.Background()) adds zero checks to the hot loop, so Run
+// and RunCtx(context.Background()) are bit-identical.
+func (r *Runner) RunCtx(ctx context.Context) (Result, error) {
+	r.ctxDone = ctx.Done()
 	cores := r.cfg.Cores
 	// Footprints are defined in 2 kB blocks regardless of the controller's
 	// internal geometry.
@@ -516,7 +550,9 @@ func (r *Runner) Run() Result {
 		})
 		epochStart = r.mark(st)
 	}
-	r.runWindow(st, r.cfg.AccessesPerCore, uint64(r.cfg.EpochAccesses), onEpoch)
+	if !r.aborted {
+		r.runWindow(st, r.cfg.AccessesPerCore, uint64(r.cfg.EpochAccesses), onEpoch)
+	}
 	if r.cfg.EpochAccesses > 0 && st.accesses > epochStart.accesses {
 		// Close the partial tail epoch so the series covers the window.
 		onEpoch()
@@ -553,5 +589,8 @@ func (r *Runner) Run() Result {
 		}
 		res.Latency[name] = d.Summary()
 	}
-	return res
+	if r.aborted {
+		return res, ctx.Err()
+	}
+	return res, nil
 }

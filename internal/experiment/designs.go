@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -200,9 +201,28 @@ func SaveSpecFile(path string, spec DesignSpec) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// ValidateSpec checks the parts of a spec that Register cannot see because
+// they depend on the run configuration: the overrides must apply cleanly to
+// the base config, and the policy knobs must be supported by the kind. The
+// Ctx runners call it before building a controller so a bad spec surfaces as
+// a per-pair error instead of a mid-run panic.
+func ValidateSpec(spec DesignSpec, cfg config.Config) error {
+	if err := spec.Overrides.Apply(&cfg); err != nil {
+		return fmt.Errorf("experiment: design %q: %w", spec.Name, err)
+	}
+	if spec.Policy.Replacement != "" && spec.Kind != KindSimple && spec.Kind != KindUnison {
+		return fmt.Errorf("experiment: design %q: kind %q has no replacement-policy knob",
+			spec.Name, spec.Kind)
+	}
+	return nil
+}
+
 // FactorySpec returns the controller factory for a spec: it applies the
 // spec's config overrides, builds the kind's controller on the shared kit,
-// and applies the policy knobs.
+// applies the policy knobs, and arms fault injection when the (overridden)
+// config asks for it. The panics below are programmer-error invariants —
+// Register and ValidateSpec reject every user-reachable bad spec first —
+// and the harness's per-pair panic isolation contains them regardless.
 func FactorySpec(spec DesignSpec) cpu.ControllerFactory {
 	return func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
 		if err := spec.Overrides.Apply(&cfg); err != nil {
@@ -211,6 +231,11 @@ func FactorySpec(spec DesignSpec) cpu.ControllerFactory {
 		ctrl := buildKind(spec, cfg, store, stats)
 		if spec.Policy.Replacement != "" {
 			applyReplacement(spec, ctrl, cfg.Seed)
+		}
+		if cfg.Fault.Enabled() {
+			if ep, ok := ctrl.(hybrid.EngineProvider); ok {
+				ep.Engine().EnableFaults(cfg.Fault, cfg.Seed)
+			}
 		}
 		return ctrl
 	}
@@ -263,4 +288,26 @@ func RunOne(cfg config.Config, w trace.Workload, design string) cpu.Result {
 	res := r.Run()
 	res.Design = design
 	return res
+}
+
+// RunOneCtx is RunOne with error reporting and cooperative cancellation: an
+// unknown design or an invalid spec returns an error instead of panicking,
+// and a cancelled ctx stops the replay and returns the partial metrics with
+// ctx's error. With a background context the result is bit-identical to
+// RunOne.
+func RunOneCtx(ctx context.Context, cfg config.Config, w trace.Workload, design string) (cpu.Result, error) {
+	spec, ok := Lookup(design)
+	if !ok {
+		return cpu.Result{}, UnknownDesignError(design)
+	}
+	if err := ValidateSpec(spec, cfg); err != nil {
+		return cpu.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return cpu.Result{}, err
+	}
+	r := cpu.NewRunner(cfg, w, FactorySpec(spec))
+	res, err := r.RunCtx(ctx)
+	res.Design = design
+	return res, err
 }

@@ -148,7 +148,7 @@ func TestSpecOverridesDoNotLeak(t *testing.T) {
 	before := cfg
 	w, _ := trace.ByName("505.mcf_r")
 	_ = RunOne(cfg, w, DesignBaryon64B)
-	if cfg != before {
+	if !reflect.DeepEqual(cfg, before) {
 		t.Fatalf("RunOne mutated the caller's config:\n got %+v\nwant %+v", cfg, before)
 	}
 }

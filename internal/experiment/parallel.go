@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -73,6 +76,76 @@ func forEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// runContext holds the package-level context consulted by the legacy
+// (context-free) entry points, so existing harness code can be made
+// cancellable from one place. The context lives in a single-field struct
+// because atomic.Value requires a consistent concrete type and contexts
+// come in many.
+type ctxBox struct{ ctx context.Context }
+
+var runContext atomic.Value
+
+func init() { runContext.Store(ctxBox{context.Background()}) }
+
+// SetRunContext installs the context the legacy RunPairs/RunMatrix/harness
+// entry points run under. The default is context.Background() (never
+// cancelled, zero overhead). Commands that own a shutdown context call this
+// once at startup; new code should prefer the explicit ...Ctx variants.
+func SetRunContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runContext.Store(ctxBox{ctx})
+}
+
+// RunContext returns the context installed by SetRunContext.
+func RunContext() context.Context {
+	return runContext.Load().(ctxBox).ctx
+}
+
+// forEachCtx is forEach with cooperative cancellation: workers stop pulling
+// new indices once ctx is cancelled (indices already running finish via the
+// runner's own cancellation checks). A non-cancellable context delegates to
+// the plain loop.
+func forEachCtx(ctx context.Context, n int, fn func(i int)) {
+	if ctx.Done() == nil {
+		forEach(n, fn)
+		return
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Pair is one independent simulation job: a full configuration (so sweeps
 // can mutate per-job copies), a workload and a design name.
 type Pair struct {
@@ -81,20 +154,89 @@ type Pair struct {
 	Design   string
 }
 
-// RunPairs executes every job concurrently and returns the results in input
-// order. Each job builds its own runner, store, controller and statistics,
-// so jobs share no mutable state; the output is bit-identical to calling
-// RunOne in a loop.
-func RunPairs(pairs []Pair) []cpu.Result {
-	out := make([]cpu.Result, len(pairs))
-	forEach(len(pairs), func(i int) {
-		out[i] = RunOne(pairs[i].Cfg, pairs[i].Workload, pairs[i].Design)
+// PairResult is the outcome of one job in a resilient run: the metrics on
+// success, or the error that stopped the job — a bad spec, a panic captured
+// by the worker's isolation boundary, or the run context's cancellation
+// error for jobs that were cut short or never started.
+type PairResult struct {
+	Result cpu.Result
+	Err    error
+}
+
+// runPairIsolated executes one job with a panic boundary: a panicking
+// controller or workload poisons only its own slot, never the sweep.
+func runPairIsolated(ctx context.Context, p Pair) (pr PairResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pr.Err = fmt.Errorf("experiment: %s/%s panicked: %v\n%s",
+				p.Workload.Name, p.Design, rec, debug.Stack())
+		}
+	}()
+	pr.Result, pr.Err = RunOneCtx(ctx, p.Cfg, p.Workload, p.Design)
+	return pr
+}
+
+// RunPairsCtx executes every job concurrently and returns per-job outcomes
+// in input order. Each job builds its own runner, store, controller and
+// statistics, so jobs share no mutable state; successful slots are
+// bit-identical to calling RunOne in a loop. A job that fails — invalid
+// design, panic, cancellation — reports through its slot's Err while every
+// other job completes; jobs not yet started when ctx is cancelled get
+// ctx's error without running.
+func RunPairsCtx(ctx context.Context, pairs []Pair) []PairResult {
+	out := make([]PairResult, len(pairs))
+	ran := make([]bool, len(pairs))
+	forEachCtx(ctx, len(pairs), func(i int) {
+		ran[i] = true
+		out[i] = runPairIsolated(ctx, pairs[i])
 	})
+	for i := range out {
+		if !ran[i] {
+			out[i].Err = ctx.Err()
+		}
+	}
+	return out
+}
+
+// RunPairs executes every job concurrently and returns the results in input
+// order, bit-identical to calling RunOne in a loop. It is the legacy strict
+// entry point: any per-job error — including cancellation of the
+// SetRunContext context — escalates to a panic, which the resilient
+// commands catch at their per-harness isolation boundary. Callers that want
+// per-job errors use RunPairsCtx.
+func RunPairs(pairs []Pair) []cpu.Result {
+	prs := RunPairsCtx(RunContext(), pairs)
+	out := make([]cpu.Result, len(prs))
+	for i, pr := range prs {
+		if pr.Err != nil {
+			panic(fmt.Sprintf("experiment: pair %s/%s failed: %v",
+				pairs[i].Workload.Name, pairs[i].Design, pr.Err))
+		}
+		out[i] = pr.Result
+	}
+	return out
+}
+
+// RunMatrixCtx runs the full workloads x designs grid under cfg and returns
+// per-job outcomes indexed as [workload][design], matching the input slices.
+func RunMatrixCtx(ctx context.Context, cfg config.Config, workloads []trace.Workload, designs []string) [][]PairResult {
+	pairs := make([]Pair, 0, len(workloads)*len(designs))
+	for _, w := range workloads {
+		for _, d := range designs {
+			pairs = append(pairs, Pair{Cfg: cfg, Workload: w, Design: d})
+		}
+	}
+	flat := RunPairsCtx(ctx, pairs)
+	out := make([][]PairResult, len(workloads))
+	for wi := range workloads {
+		out[wi] = flat[wi*len(designs) : (wi+1)*len(designs)]
+	}
 	return out
 }
 
 // RunMatrix runs the full workloads x designs grid under cfg and returns
-// results indexed as [workload][design], matching the input slices.
+// results indexed as [workload][design], matching the input slices. Like
+// RunPairs it is strict: per-job errors escalate to panics.
 func RunMatrix(cfg config.Config, workloads []trace.Workload, designs []string) [][]cpu.Result {
 	pairs := make([]Pair, 0, len(workloads)*len(designs))
 	for _, w := range workloads {

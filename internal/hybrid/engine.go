@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"baryon/internal/fault"
 	"baryon/internal/mem"
 	"baryon/internal/obs"
 	"baryon/internal/sim"
@@ -19,10 +20,19 @@ import (
 // (see mem.Device.AccessBackground).
 type Engine struct {
 	fast, slow *mem.Device
+	stats      *sim.Stats
 
 	latFast, latSlow *sim.Histogram
 	writebacks       *sim.Counter
 	tracer           *obs.Tracer
+
+	// Fault-degradation path (EnableFaults). faultsOn keeps the fault-free
+	// hot path on a single branch; with it false the engine is
+	// bit-identical to a build without fault support.
+	faultsOn     bool
+	retryPenalty uint64
+	remapPenalty uint64
+	latRetry     map[*mem.Device]*sim.Histogram
 }
 
 // NewEngine builds the engine and its two devices, registering device
@@ -30,9 +40,72 @@ type Engine struct {
 // historical registration order).
 func NewEngine(fastCfg, slowCfg mem.Config, stats *sim.Stats) *Engine {
 	return &Engine{
-		fast: mem.NewDevice(fastCfg, stats),
-		slow: mem.NewDevice(slowCfg, stats),
+		fast:  mem.NewDevice(fastCfg, stats),
+		slow:  mem.NewDevice(slowCfg, stats),
+		stats: stats,
 	}
+}
+
+// EnableFaults attaches seeded fault injectors to the devices that have a
+// fault source configured and arms the engine's degradation path: demand
+// reads whose ECC outcome is Corrected are retried once (injection
+// suppressed) with a timing penalty; Uncorrectable reads quarantine the
+// affected lines in the injector (the line-remap-to-spare of a real
+// controller) and refetch from the spare. All outcomes land in the
+// "<device>.fault.*" counters and the "<device>.fault.lat.retry"
+// histograms. A no-op when fc describes no fault source.
+func (e *Engine) EnableFaults(fc fault.Config, seed uint64) {
+	if !fc.Enabled() {
+		return
+	}
+	e.faultsOn = true
+	e.retryPenalty = fc.RetryPenaltyCycles()
+	e.remapPenalty = fc.RemapPenaltyCycles()
+	e.latRetry = make(map[*mem.Device]*sim.Histogram, 2)
+	attach := func(d *mem.Device, p fault.Params, salt uint64) {
+		if !p.Enabled() {
+			return
+		}
+		scope := e.stats.Scope(d.Config().Name)
+		d.SetFaults(fault.NewInjector(p, fc.CorrectBits(), seed^fc.Seed^salt, scope))
+		e.latRetry[d] = scope.Histogram("fault.lat.retry")
+	}
+	attach(e.fast, fc.Fast, 0xFA57FA57)
+	attach(e.slow, fc.Slow, 0x510A510A)
+}
+
+// FaultsEnabled reports whether the degradation path is armed.
+func (e *Engine) FaultsEnabled() bool { return e.faultsOn }
+
+// demandRead issues one demand read and applies the ECC degradation path to
+// its outcome.
+func (e *Engine) demandRead(d *mem.Device, issue, addr, size uint64) uint64 {
+	done := d.Access(issue, addr, size, false)
+	if !e.faultsOn {
+		return done
+	}
+	switch d.TakeFault() {
+	case fault.Corrected:
+		// ECC caught flips within budget: the controller re-reads the line
+		// and pays the correction pipeline's penalty.
+		d.Faults().CountRetry()
+		done = d.AccessClean(done, addr, size, false) + e.retryPenalty
+		e.latRetry[d].Observe(done - issue)
+		if e.tracer != nil {
+			e.tracer.Instant("fault", "corrected", issue)
+		}
+	case fault.Uncorrectable:
+		// Beyond the ECC budget: quarantine the lines (remap to spares) so
+		// they stop faulting, then refetch from the spare. Without this the
+		// simulation would silently serve corrupted data.
+		d.Faults().Quarantine(addr, size)
+		done = d.AccessClean(done+e.remapPenalty, addr, size, false)
+		e.latRetry[d].Observe(done - issue)
+		if e.tracer != nil {
+			e.tracer.Instant("fault", "remap", issue)
+		}
+	}
+	return done
 }
 
 // InstrumentLatency registers the kit's read-latency histograms under the
@@ -96,12 +169,12 @@ func (e *Engine) ObserveSlow(now, done uint64, cat string) {
 
 // FastRead is a demand read from fast memory issued at cycle issue.
 func (e *Engine) FastRead(issue, addr, size uint64) uint64 {
-	return e.fast.Access(issue, addr, size, false)
+	return e.demandRead(e.fast, issue, addr, size)
 }
 
 // SlowRead is a demand read from slow memory issued at cycle issue.
 func (e *Engine) SlowRead(issue, addr, size uint64) uint64 {
-	return e.slow.Access(issue, addr, size, false)
+	return e.demandRead(e.slow, issue, addr, size)
 }
 
 // FillFast writes size bytes into fast memory in the background (fills,

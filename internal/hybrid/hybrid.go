@@ -102,6 +102,14 @@ type Controller interface {
 	Name() string
 }
 
+// EngineProvider is implemented by controllers built on the shared
+// migration/writeback Engine. It lets run setup reach the engine for
+// cross-cutting concerns — fault injection, tracing — without knowing the
+// concrete controller type.
+type EngineProvider interface {
+	Engine() *Engine
+}
+
 // DataPeeker is implemented by controllers that can expose the current
 // canonical content of a line for integrity testing (reads with no timing
 // or statistics side effects).

@@ -8,6 +8,7 @@
 package mem
 
 import (
+	"baryon/internal/fault"
 	"baryon/internal/obs"
 	"baryon/internal/sim"
 )
@@ -123,6 +124,12 @@ type Device struct {
 	tracer                     *obs.Tracer
 	maxQueueing                uint64
 	dbgChan, dbgBank, dbgSpill uint64
+
+	// faults, when non-nil, injects read faults and tracks write wear; the
+	// outcome of the last demand access is kept for the engine's
+	// degradation path. Nil (the default) keeps the hot path fault-free.
+	faults    *fault.Injector
+	lastFault fault.Class
 }
 
 // Counters exposes the device's typed metric handles so run harnesses can
@@ -169,6 +176,35 @@ func NewDevice(cfg Config, stats *sim.Stats) *Device {
 // SetTracer attaches a request-lifecycle tracer; device service spans are
 // recorded for sampled requests. Nil detaches.
 func (d *Device) SetTracer(t *obs.Tracer) { d.tracer = t }
+
+// SetFaults attaches a fault injector: demand and background reads draw
+// fault outcomes, writes advance wear counters. Nil (the default) detaches;
+// a detached device behaves bit-identically to a build without injection.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
+
+// Faults returns the attached injector (nil when injection is off).
+func (d *Device) Faults() *fault.Injector { return d.faults }
+
+// TakeFault returns the ECC outcome of the most recent demand access and
+// resets it to None. Background accesses never set it.
+func (d *Device) TakeFault() fault.Class {
+	f := d.lastFault
+	d.lastFault = fault.None
+	return f
+}
+
+// AccessClean performs a demand access with fault injection suppressed: the
+// ECC-corrected retry and remapped-spare refetch paths, which re-read known
+// good data.
+func (d *Device) AccessClean(now uint64, addr uint64, size uint64, write bool) uint64 {
+	if d.faults == nil {
+		return d.Access(now, addr, size, write)
+	}
+	d.faults.Suppress(true)
+	done := d.Access(now, addr, size, write)
+	d.faults.Suppress(false)
+	return done
+}
 
 // Counters returns the device's typed metric handles.
 func (d *Device) Counters() Counters {
@@ -241,6 +277,17 @@ func (d *Device) AccessBackground(now uint64, addr uint64, size uint64, write bo
 			d.reads.Inc()
 			d.bytesRead.Add(n)
 			d.energy.Add(float64(n*8) * d.cfg.ReadPJPerBit)
+		}
+		if d.faults != nil {
+			// Background traffic ages cells and suffers faults like demand
+			// traffic, but its nominal completion time absorbs the ECC
+			// handling; outcomes are counted, not retimed, and never
+			// surface through TakeFault.
+			if write {
+				d.faults.OnWrite(addr+off, n)
+			} else {
+				d.faults.OnRead(addr+off, n)
+			}
 		}
 	}
 	return now + d.cfg.RowMissLatency + uint64(float64(size)/d.cfg.BytesPerCycle)
@@ -322,11 +369,27 @@ func (d *Device) access(now uint64, addr uint64, size uint64, write bool) uint64
 		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
 		d.readLat.Add(done - now)
 	}
+	d.inject(addr, size, write)
 	d.svcHist.Observe(done - now)
 	if d.tracer != nil {
 		d.tracer.Span(d.cfg.Name, rowClass, now, done)
 	}
 	return done
+}
+
+// inject draws the fault outcome for one demand chunk, accumulating the
+// worst outcome across the chunks of a striped access for TakeFault.
+func (d *Device) inject(addr, size uint64, write bool) {
+	if d.faults == nil {
+		return
+	}
+	if write {
+		d.faults.OnWrite(addr, size)
+		return
+	}
+	if f := d.faults.OnRead(addr, size); f > d.lastFault {
+		d.lastFault = f
+	}
 }
 
 // EnergyPJ returns the accumulated access energy in picojoules. It is a
@@ -354,6 +417,7 @@ func (d *Device) Reset() {
 	}
 	d.maxQueueing = 0
 	d.dbgChan, d.dbgBank, d.dbgSpill = 0, 0, 0
+	d.lastFault = fault.None
 }
 
 // accessDetailed serves one demand access through the protocol engine,
@@ -392,6 +456,7 @@ func (d *Device) accessDetailed(now uint64, addr uint64, size uint64, write bool
 		d.energy.Add(float64(size*8) * d.cfg.ReadPJPerBit)
 		d.readLat.Add(done - now)
 	}
+	d.inject(addr, size, write)
 	d.svcHist.Observe(done - now)
 	if d.tracer != nil {
 		d.tracer.Span(d.cfg.Name, rowClass, now, done)

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog watches an Introspector's progress heartbeats and fires a
+// callback when the run stops making progress — the access counter of the
+// published RunStatus stays unchanged for stallAfter of wall time. It exists
+// for the resilient-harness contract: a wedged simulation (infinite loop in
+// a controller, a deadlocked device model) is detected and surfaced instead
+// of hanging a sweep forever.
+//
+// The watchdog only reads published immutable snapshots, so it never races
+// with the run goroutine; it is the one place in the repository where wall
+// time is consulted, and it feeds back only through the caller's onStall
+// action (typically cancelling the run context), never into simulated state.
+type Watchdog struct {
+	in         *Introspector
+	stallAfter time.Duration
+	onStall    func(last *RunStatus)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewWatchdog starts a watchdog over in. onStall is called at most once,
+// from the watchdog goroutine, with the last published status (possibly nil
+// if nothing was ever published); after firing the watchdog retires. Call
+// Stop when the run finishes normally.
+func NewWatchdog(in *Introspector, stallAfter time.Duration, onStall func(last *RunStatus)) *Watchdog {
+	if stallAfter <= 0 {
+		stallAfter = time.Minute
+	}
+	w := &Watchdog{
+		in:         in,
+		stallAfter: stallAfter,
+		onStall:    onStall,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Stop retires the watchdog without firing and waits for its goroutine to
+// exit. Safe to call multiple times and after a stall has fired.
+func (w *Watchdog) Stop() {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	tick := w.stallAfter / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+
+	var lastAccesses uint64
+	lastChange := time.Now()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			st := w.in.Latest()
+			// Before the first publish the run is still setting up (store
+			// fill, controller construction); count that against the stall
+			// budget too, from watchdog start.
+			acc := uint64(0)
+			if st != nil {
+				acc = st.Accesses
+			}
+			if acc != lastAccesses {
+				lastAccesses = acc
+				lastChange = now
+				continue
+			}
+			if now.Sub(lastChange) >= w.stallAfter {
+				w.onStall(st)
+				return
+			}
+		}
+	}
+}

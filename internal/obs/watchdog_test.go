@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogFiresOnStall checks that a frozen access counter triggers the
+// stall callback with the last published status.
+func TestWatchdogFiresOnStall(t *testing.T) {
+	in := &Introspector{}
+	in.Publish(&RunStatus{Accesses: 100})
+	fired := make(chan *RunStatus, 1)
+	wd := NewWatchdog(in, 80*time.Millisecond, func(last *RunStatus) { fired <- last })
+	defer wd.Stop()
+	select {
+	case last := <-fired:
+		if last == nil || last.Accesses != 100 {
+			t.Fatalf("stall callback got %+v, want the last published status", last)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a stalled run")
+	}
+}
+
+// TestWatchdogStaysQuietWithProgress checks that a run publishing fresh
+// progress never trips the watchdog, and that Stop retires it cleanly.
+func TestWatchdogStaysQuietWithProgress(t *testing.T) {
+	in := &Introspector{}
+	var firedCount atomic.Int32
+	wd := NewWatchdog(in, 150*time.Millisecond, func(*RunStatus) { firedCount.Add(1) })
+	stop := make(chan struct{})
+	go func() {
+		var acc uint64
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				acc += 1000
+				in.Publish(&RunStatus{Accesses: acc})
+			}
+		}
+	}()
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wd.Stop()
+	wd.Stop() // idempotent
+	if n := firedCount.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d times on a progressing run", n)
+	}
+}
+
+// TestWatchdogFiresWithoutAnyPublish checks that a run that wedges before
+// its first heartbeat still trips the watchdog (with a nil status).
+func TestWatchdogFiresWithoutAnyPublish(t *testing.T) {
+	in := &Introspector{}
+	fired := make(chan *RunStatus, 1)
+	wd := NewWatchdog(in, 80*time.Millisecond, func(last *RunStatus) { fired <- last })
+	defer wd.Stop()
+	select {
+	case last := <-fired:
+		if last != nil {
+			t.Fatalf("expected nil status before first publish, got %+v", last)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+}
