@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench fuzz-smoke cancel-smoke check
+.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -36,9 +36,19 @@ test:
 race:
 	$(GO) test -race -timeout 40m ./...
 
-# Short allocation smoke: tracks the single-run hot path (allocs/op).
+# Short allocation smoke: tracks the single-run hot path (allocs/op). The
+# pinned -count/-benchtime make repeats comparable run-to-run; see README
+# "Benchmark trajectory" for how to compare two commits.
 bench:
-	$(GO) test -run '^$$' -bench SingleRun -benchmem -benchtime 2x .
+	$(GO) test -run '^$$' -bench SingleRun -benchmem -count 3 -benchtime 2x .
+
+# Machine-checked bench trajectory: repeats the hot-path benchmarks under
+# the same fixed iteration plan, aggregates min-of-repeats into
+# BENCH_singlerun.json, and fails if any benchmark's allocs/op regresses
+# more than 10% against the committed BENCH_baseline.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_singlerun.json \
+		-baseline BENCH_baseline.json -threshold 0.10
 
 # Short native-fuzz bursts over the compressor round-trips and the
 # design-file Overrides schema (go test allows one -fuzz target per

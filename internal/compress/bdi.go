@@ -144,6 +144,37 @@ func (BDI) CompressedSize(data []byte) int {
 	return best
 }
 
+// SizeAtMost reports whether the best BDI encoding of data fits in budget
+// bytes, equivalent to CompressedSize(data) <= budget but cheaper: a
+// configuration's encoded size depends only on len(data), so configurations
+// that cannot meet the budget are rejected arithmetically before any chunk
+// scan, and the scan of the first feasible configuration that applies ends
+// the search.
+func (BDI) SizeAtMost(data []byte, budget int) bool {
+	if allZero(data) {
+		return 1 <= budget
+	}
+	if isRep8(data) {
+		return 1+8 <= budget
+	}
+	if 1+len(data) <= budget {
+		return true
+	}
+	for _, cfg := range bdiConfigs {
+		if len(data)%cfg.base != 0 {
+			continue
+		}
+		n := len(data) / cfg.base
+		if 1+cfg.base+(n+7)/8+n*cfg.delta > budget {
+			continue
+		}
+		if _, ok := tryConfig(data, cfg); ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Compress encodes data with the best BDI configuration.
 func (b BDI) Compress(data []byte) []byte { return b.AppendCompress(nil, data) }
 

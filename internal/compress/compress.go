@@ -62,6 +62,26 @@ func (c *Compressor) CompressedSize(data []byte) int {
 	return best
 }
 
+// FitsWithin reports whether the best enabled encoding of data fits in
+// budget bytes — exactly CompressedSize(data) <= budget, but without the
+// full best-of search: each algorithm's size-only fast path bails out as
+// soon as the budget is exceeded, and the first algorithm that fits ends
+// the search. This is the predicate behind every fit trial (RangeFits,
+// write-hit recompression, compressed writeback), where the exact size is
+// irrelevant.
+func (c *Compressor) FitsWithin(data []byte, budget int) bool {
+	if budget >= len(data) {
+		return true // hardware stores the original when compression loses
+	}
+	if c.fpc.SizeAtMost(data, budget) {
+		return true
+	}
+	if c.bdi.SizeAtMost(data, budget) {
+		return true
+	}
+	return c.WithCPack && c.cpack.SizeAtMost(data, budget)
+}
+
 // IsZero reports whether data is entirely zero (the Z-bit special case).
 func (c *Compressor) IsZero(data []byte) bool { return allZero(data) }
 
@@ -77,11 +97,11 @@ func (c *Compressor) RangeFits(data []byte, cf int) bool {
 		return true
 	}
 	if !c.Aligned {
-		return c.CompressedSize(data) <= SubBlockSize
+		return c.FitsWithin(data, SubBlockSize)
 	}
 	chunk := CachelineSize * cf
 	for off := 0; off < len(data); off += chunk {
-		if c.CompressedSize(data[off:off+chunk]) > CachelineSize {
+		if !c.FitsWithin(data[off:off+chunk], CachelineSize) {
 			return false
 		}
 	}

@@ -94,6 +94,22 @@ func (CPack) CompressedSize(data []byte) int {
 	return (bits + 7) / 8
 }
 
+// SizeAtMost reports whether the C-Pack encoding of data fits in budget
+// bytes, bailing out as soon as the running bit count exceeds the budget.
+// Equivalent to CompressedSize(data) <= budget.
+func (CPack) SizeAtMost(data []byte, budget int) bool {
+	maxBits := budget * 8
+	var d cpackDict
+	bits := 0
+	for off := 0; off+4 <= len(data); off += 4 {
+		bits += cpackWordBits(binary.LittleEndian.Uint32(data[off:]), &d)
+		if bits > maxBits {
+			return false
+		}
+	}
+	return true
+}
+
 // C-Pack stream opcodes for the explicit encoder/decoder.
 const (
 	cpZZZZ = 0x0 // 00

@@ -61,6 +61,34 @@ func (FPC) CompressedSize(data []byte) int {
 	return (bits + 7) / 8
 }
 
+// SizeAtMost reports whether the FPC encoding of data fits in budget bytes,
+// without materialising the bitstream and bailing out as soon as the running
+// bit count exceeds the budget. Equivalent to CompressedSize(data) <= budget.
+func (FPC) SizeAtMost(data []byte, budget int) bool {
+	maxBits := budget * 8
+	bits := 0
+	nwords := len(data) / 4
+	for i := 0; i < nwords; {
+		w := binary.LittleEndian.Uint32(data[i*4:])
+		if w == 0 {
+			run := 1
+			for i+run < nwords && run < 8 && binary.LittleEndian.Uint32(data[(i+run)*4:]) == 0 {
+				run++
+			}
+			bits += fpcPrefixLen + 3
+			i += run
+		} else {
+			_, payload := fpcClassify(w)
+			bits += fpcPrefixLen + int(payload)
+			i++
+		}
+		if bits > maxBits {
+			return false
+		}
+	}
+	return true
+}
+
 func fpcBitSize(data []byte) int {
 	bits := 0
 	nwords := len(data) / 4

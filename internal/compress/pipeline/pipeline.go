@@ -1,0 +1,230 @@
+// Package pipeline provides a parallel fit-check arena for sub-block
+// compression trials. Baryon's hot path is dominated by "does this range
+// compress into its budget?" questions — the per-chunk checks behind
+// cacheline-aligned RangeFits, write-hit recompression and compressed
+// writeback (paper Sections III-B/III-E). Each check is a pure function of
+// its input bytes, so a batch of them can be fanned across a fixed pool of
+// helper goroutines and reassembled index-slotted with a result that is
+// byte-identical to evaluating the batch serially.
+//
+// Determinism contract:
+//
+//   - Every task is a pure predicate (Compressor.FitsWithin) over bytes the
+//     submitter owns; workers never write to shared simulator state.
+//   - Results land in per-group slots keyed by the Add order, so assembly
+//     order cannot depend on goroutine scheduling.
+//   - A group's verdict is the AND of its chunk verdicts, which is
+//     schedule-independent even with the early-abandon optimisation: once
+//     one chunk of a group fails, remaining chunks may be skipped, but the
+//     group verdict is already pinned to "does not fit".
+//
+// The helper pool is process-global and lazily started: controllers are
+// created per run (benchmarks create thousands), so per-arena goroutines
+// would leak. Arenas themselves are per-controller and reuse their task and
+// result storage, so steady-state batches allocate nothing. Helper
+// recruitment is non-blocking: if all helpers are busy (e.g. many
+// experiment workers each running their own arena), the submitter simply
+// drains its own batch serially — parallelism degrades, correctness and
+// output never change.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"baryon/internal/compress"
+)
+
+// defaultWorkers is the process-wide worker count used by arenas created
+// with workers <= 0. Zero means GOMAXPROCS.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the worker count for arenas that do not pin one
+// explicitly. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the effective default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// task is one chunk-fit predicate: does data compress into budget bytes?
+type task struct {
+	data   []byte
+	budget int
+	group  int32
+}
+
+// Arena batches fit checks for one controller. It is not safe for
+// concurrent use by multiple submitters; one controller owns one arena.
+// The zero value is not usable — construct with New.
+type Arena struct {
+	comp    *compress.Compressor
+	workers int
+
+	tasks  []task
+	fail   []atomic.Bool // per-group "some chunk did not fit"
+	groups int
+
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// New returns an arena evaluating fit checks with comp. workers <= 0 uses
+// the process default. workers == 1 makes Run a purely serial inline loop
+// (no goroutines, no atomics on the pickup path).
+//
+// comp is shared with helper goroutines during Run; that is safe because
+// FitsWithin touches only the stateless algorithm implementations and the
+// WithCPack flag, never the compressor's scratch buffer.
+func New(comp *compress.Compressor, workers int) *Arena {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Arena{comp: comp, workers: workers}
+}
+
+// Workers returns the arena's worker count (including the submitter).
+func (a *Arena) Workers() int { return a.workers }
+
+// Begin resets the arena for a new batch, reusing prior storage.
+func (a *Arena) Begin() {
+	a.tasks = a.tasks[:0]
+	a.groups = 0
+}
+
+// AddWhole queues a single whole-range check: does data compress into
+// budget bytes? It returns the group handle for Fits.
+func (a *Arena) AddWhole(data []byte, budget int) int {
+	g := a.groups
+	a.groups++
+	a.tasks = append(a.tasks, task{data: data, budget: budget, group: int32(g)})
+	return g
+}
+
+// AddChunked queues a cacheline-aligned range check: every chunkBytes-sized
+// piece of data must independently compress into budget bytes (Fig. 7's
+// DDRx-burst decodability rule). It returns the group handle for Fits.
+func (a *Arena) AddChunked(data []byte, chunkBytes, budget int) int {
+	g := a.groups
+	a.groups++
+	for off := 0; off < len(data); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		a.tasks = append(a.tasks, task{data: data[off:end], budget: budget, group: int32(g)})
+	}
+	return g
+}
+
+// Run evaluates every queued check. After Run, Fits reports each group's
+// verdict. The result is identical for any worker count.
+func (a *Arena) Run() {
+	for len(a.fail) < a.groups {
+		a.fail = append(a.fail, atomic.Bool{})
+	}
+	for i := 0; i < a.groups; i++ {
+		a.fail[i].Store(false)
+	}
+	n := len(a.tasks)
+	if n == 0 {
+		return
+	}
+	helpers := a.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	if helpers <= 0 || n < minParallelTasks {
+		a.drainSerial()
+		return
+	}
+	a.next.Store(0)
+	reqs := poolReqs()
+	for i := 0; i < helpers; i++ {
+		a.wg.Add(1)
+		select {
+		case reqs <- a:
+		default:
+			// Pool saturated; the submitter covers the remaining work.
+			a.wg.Done()
+		}
+	}
+	a.drain()
+	a.wg.Wait()
+}
+
+// minParallelTasks is the batch size below which helper handoff costs more
+// than it saves and Run stays inline.
+const minParallelTasks = 3
+
+// Fits reports whether group g's range fits its budget. Valid after Run
+// until the next Begin.
+func (a *Arena) Fits(g int) bool { return !a.fail[g].Load() }
+
+// drainSerial evaluates tasks in queue order, skipping the rest of a group
+// once it has failed — the exact early-exit shape of the serial code paths.
+func (a *Arena) drainSerial() {
+	for i := range a.tasks {
+		t := &a.tasks[i]
+		if a.fail[t.group].Load() {
+			continue
+		}
+		if !a.comp.FitsWithin(t.data, t.budget) {
+			a.fail[t.group].Store(true)
+		}
+	}
+}
+
+// drain pulls tasks via the shared atomic cursor until the batch is empty.
+// Called by the submitter and by recruited helpers.
+func (a *Arena) drain() {
+	for {
+		i := int(a.next.Add(1)) - 1
+		if i >= len(a.tasks) {
+			return
+		}
+		t := &a.tasks[i]
+		if a.fail[t.group].Load() {
+			continue // group already failed; skipping cannot change the AND
+		}
+		if !a.comp.FitsWithin(t.data, t.budget) {
+			a.fail[t.group].Store(true)
+		}
+	}
+}
+
+// pool is the process-global helper pool: GOMAXPROCS-1 goroutines started
+// on first parallel Run, shared by every arena in the process.
+var pool struct {
+	once sync.Once
+	reqs chan *Arena
+}
+
+func poolReqs() chan *Arena {
+	pool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 1 {
+			n = 1
+		}
+		pool.reqs = make(chan *Arena)
+		for i := 0; i < n; i++ {
+			go func() {
+				for a := range pool.reqs {
+					a.drain()
+					a.wg.Done()
+				}
+			}()
+		}
+	})
+	return pool.reqs
+}

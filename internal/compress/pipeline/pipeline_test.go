@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"baryon/internal/compress"
+)
+
+// testBatch queues a deterministic mix of whole and chunked checks over
+// data with a spread of compressibility, returning the per-group
+// serial-reference verdicts computed directly with FitsWithin.
+func testBatch(t *testing.T, a *Arena, comp *compress.Compressor, rng *rand.Rand) []bool {
+	t.Helper()
+	var want []bool
+	a.Begin()
+	nGroups := 1 + rng.Intn(12)
+	for g := 0; g < nGroups; g++ {
+		cf := []int{1, 2, 4}[rng.Intn(3)]
+		data := make([]byte, cf*compress.SubBlockSize)
+		switch rng.Intn(4) {
+		case 0: // zeros — always fits
+		case 1: // noise — never fits
+			rng.Read(data)
+		case 2: // low-magnitude words — usually fits
+			for i := 0; i < len(data); i += 4 {
+				data[i] = byte(rng.Intn(16))
+			}
+		case 3: // half noise
+			rng.Read(data[:len(data)/2])
+		}
+		if rng.Intn(2) == 0 {
+			got := a.AddWhole(data, compress.SubBlockSize)
+			if got != g {
+				t.Fatalf("AddWhole returned group %d, want %d", got, g)
+			}
+			want = append(want, comp.FitsWithin(data, compress.SubBlockSize))
+		} else {
+			chunk := compress.CachelineSize * cf
+			got := a.AddChunked(data, chunk, compress.CachelineSize)
+			if got != g {
+				t.Fatalf("AddChunked returned group %d, want %d", got, g)
+			}
+			fits := true
+			for off := 0; off < len(data); off += chunk {
+				if !comp.FitsWithin(data[off:off+chunk], compress.CachelineSize) {
+					fits = false
+					break
+				}
+			}
+			want = append(want, fits)
+		}
+	}
+	return want
+}
+
+// TestArenaMatchesSerialReference pins the determinism contract: for any
+// worker count, Run's per-group verdicts equal the serial FitsWithin
+// reference.
+func TestArenaMatchesSerialReference(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			comp := compress.New(true)
+			a := New(comp, workers)
+			rng := rand.New(rand.NewSource(42))
+			for iter := 0; iter < 200; iter++ {
+				want := testBatch(t, a, comp, rng)
+				a.Run()
+				for g, w := range want {
+					if got := a.Fits(g); got != w {
+						t.Fatalf("iter %d group %d: Fits=%v, serial reference=%v", iter, g, got, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestArenaReuseIsAllocationFree checks that steady-state batches reuse the
+// arena's task and result storage.
+func TestArenaReuseIsAllocationFree(t *testing.T) {
+	comp := compress.New(true)
+	a := New(comp, 1) // serial path: fully deterministic alloc accounting
+	data := make([]byte, 4*compress.SubBlockSize)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	// Warm up storage.
+	a.Begin()
+	for g := 0; g < 16; g++ {
+		a.AddChunked(data, 256, compress.CachelineSize)
+	}
+	a.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Begin()
+		for g := 0; g < 16; g++ {
+			a.AddChunked(data, 256, compress.CachelineSize)
+		}
+		a.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena batch allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestDefaultWorkers checks the process-default plumbing.
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers=%d after SetDefaultWorkers(3)", got)
+	}
+	if a := New(compress.New(true), 0); a.Workers() != 3 {
+		t.Fatalf("New(comp, 0).Workers()=%d, want default 3", a.Workers())
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers=%d after reset, want GOMAXPROCS", got)
+	}
+}
+
+// TestEmptyBatch ensures Run on an empty batch is a no-op.
+func TestEmptyBatch(t *testing.T) {
+	a := New(compress.New(false), 4)
+	a.Begin()
+	a.Run()
+	a.Begin()
+	g := a.AddWhole(make([]byte, compress.SubBlockSize), 1)
+	h := a.AddWhole(make([]byte, compress.SubBlockSize), 0)
+	a.Run()
+	if !a.Fits(g) {
+		t.Fatal("256 zero bytes fit a 1-byte budget (BDI zeros encoding)")
+	}
+	if a.Fits(h) {
+		t.Fatal("nothing fits a 0-byte budget")
+	}
+}

@@ -157,7 +157,10 @@ func (c *Controller) rangeStillFits(content []byte, cf int) bool {
 }
 
 // rangeFits adapts compress.RangeFits to the controller's sub-block size
-// (256 B default, 64 B for Baryon-64B).
+// (256 B default, 64 B for Baryon-64B). The trial runs on the engine's
+// fit-check arena, which fans the per-chunk checks of aligned mode across
+// the shared worker pool; the verdict is byte-identical to evaluating them
+// serially (pure predicates, index-slotted results).
 func (c *Controller) rangeFits(content []byte, cf int) bool {
 	if cf == 1 {
 		return true
@@ -165,17 +168,23 @@ func (c *Controller) rangeFits(content []byte, cf int) bool {
 	if c.cfg.CompressionOff {
 		return false
 	}
+	a := c.arena
+	a.Begin()
+	g := c.addRangeFit(content, cf)
+	a.Run()
+	return a.Fits(g)
+}
+
+// addRangeFit queues one range's fit trial on the arena and returns its
+// group handle: in aligned mode each 64*cf-byte chunk must independently
+// compress into one cacheline (Fig. 7); otherwise the whole range must fit
+// one sub-block slot. Callers batching several ranges (frame evictions)
+// call this between Begin and Run; rangeFits wraps the single-range case.
+func (c *Controller) addRangeFit(content []byte, cf int) int {
 	if !c.cfg.CachelineAligned {
-		return c.comp.CompressedSize(content) <= int(c.geom.subBytes)
+		return c.arena.AddWhole(content, int(c.geom.subBytes))
 	}
-	// Each 64*cf-byte chunk must compress into one cacheline.
-	chunk := 64 * cf
-	for off := 0; off+chunk <= len(content); off += chunk {
-		if c.comp.CompressedSize(content[off:off+chunk]) > 64 {
-			return false
-		}
-	}
-	return true
+	return c.arena.AddChunked(content, 64*cf, 64)
 }
 
 // restageOverflowedRange removes the overflowed range and reinserts its
@@ -363,15 +372,18 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 	super := c.superOf(b)
 	blkOff := c.blkOff(b)
 	// Find stage ways already holding this super-block; pick one at random
-	// when several exist (Section III-D, case 5).
-	var candidates []int
+	// when several exist (Section III-D, case 5). stageWays is at most 8,
+	// so the candidate list lives on the stack.
+	var candidates [8]int
+	nc := 0
 	for w := 0; w < c.geom.stageWays; w++ {
 		if fr := c.stageDir.Payload(ssi, w); fr.tag.Valid && fr.tag.Super == super {
-			candidates = append(candidates, w)
+			candidates[nc] = w
+			nc++
 		}
 	}
 	var sw int
-	switch len(candidates) {
+	switch nc {
 	case 0:
 		sw = c.stageAllocate(now, ssi, super)
 		if sw < 0 {
@@ -380,7 +392,7 @@ func (c *Controller) caseBlockMiss(now, metaT uint64, ssi int, b uint64, s, line
 	case 1:
 		sw = candidates[0]
 	default:
-		sw = candidates[c.rng.Intn(len(candidates))]
+		sw = candidates[c.rng.Intn(nc)]
 	}
 	_ = blkOff
 	c.stageInsertRange(now, ssi, sw, b, s, write)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/bits"
-	"sort"
 
 	"baryon/internal/config"
 	"baryon/internal/hybrid"
@@ -75,7 +74,12 @@ func (c *Controller) finishStageFrame(now uint64, ssi, w int) {
 		c.evictStageFrame(now, ssi, w)
 	}
 	fr.tag = metadata.StageTag{}
-	fr.data = [8][]byte{}
+	// Commit moved its slots' buffers into the committed frame (and nil'd
+	// them); whatever is left is dead and goes back to the pool.
+	for slot := range fr.data {
+		c.freeRangeBuf(fr.data[slot])
+		fr.data[slot] = nil
+	}
 	fr.events = fr.events[:0]
 	sm.Valid = false
 }
@@ -152,13 +156,49 @@ func (c *Controller) frameHoldsNative(m *hybrid.WayMeta, f *fastFrame) bool {
 		findOcc(f, uint8(c.blkOff(f.native)), 0) >= 0
 }
 
-// evictStageFrame writes the frame's dirty ranges back to slow memory.
+// evictStageFrame writes the frame's dirty ranges back to slow memory. The
+// compressed-writeback fit trials of every dirty slot are evaluated first
+// in one parallel arena batch, then the writebacks consume the verdicts in
+// slot order — the same order and outcomes as trial-per-slot serially.
 func (c *Controller) evictStageFrame(now uint64, ssi, w int) {
 	fr := c.stageDir.Payload(ssi, w)
+	var fits [8]bool
+	c.stageFitBatch(fr, &fits)
 	for slot := range fr.tag.Slots {
-		c.writebackStageSlot(now, fr, slot)
+		c.writebackStageSlotFit(now, fr, slot, fits[slot])
 	}
 	c.ctr.evictsToSlow.Inc()
+}
+
+// stageFitBatch precomputes the compressed-writeback fit verdict of every
+// dirty CF>1 slot of fr in a single arena batch. Slots whose writeback
+// cannot be compressed (clean, zero, CF 1, or the optimisation disabled)
+// keep fits[slot] == false, matching the short-circuit of the lazy path.
+func (c *Controller) stageFitBatch(fr *stageFrame, fits *[8]bool) {
+	if !c.cfg.CompressedWriteback || c.cfg.CompressionOff {
+		return
+	}
+	a := c.arena
+	a.Begin()
+	var groups [8]int
+	queued := false
+	for slot, rg := range fr.tag.Slots {
+		groups[slot] = -1
+		if !rg.Valid || rg.Zero || !rg.Dirty || rg.CF <= 1 {
+			continue
+		}
+		groups[slot] = c.addRangeFit(fr.data[slot], int(rg.CF))
+		queued = true
+	}
+	if !queued {
+		return
+	}
+	a.Run()
+	for slot, g := range groups {
+		if g >= 0 {
+			fits[slot] = a.Fits(g)
+		}
+	}
 }
 
 // commitStageFrame moves the frame's contents into the cache/flat area:
@@ -175,9 +215,8 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 
 	commitDone := now
 	if !appending || !tm.Valid {
-		native := target.native
 		*tm = hybrid.WayMeta{Key: uint64(fr.tag.Super), Valid: true}
-		*target = fastFrame{native: native}
+		target.occ = resetOcc(target.occ) // keep capacity; eviction freed the buffers
 	} else {
 		// Appending rewrites the frame's dense layout (a re-sort).
 		c.ctr.resortRewrites.Inc()
@@ -186,6 +225,7 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 	}
 	tm.LastUse = c.seq
 	tm.AllocSeq = c.seq
+	c.ensureOccCap(target)
 
 	// Gather the committed ranges; Z-descriptors become Z remap entries.
 	for slot, rg := range fr.tag.Slots {
@@ -202,6 +242,7 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 			blkOff: rg.BlkOff, subOff: rg.SubOff, cf: rg.CF,
 			dirty: rg.Dirty, data: fr.data[slot],
 		})
+		fr.data[slot] = nil // ownership moved to the committed frame
 		// Traffic: stage read + cache/flat-area write, both in fast memory.
 		commitDone = maxU64(commitDone,
 			c.eng.ReadFastBG(now, c.stageFrameAddr(ssi, w, slot), c.geom.subBytes))
@@ -227,13 +268,47 @@ func (c *Controller) commitStageFrame(now uint64, ssi, w, si, targetW int, appen
 }
 
 // sortOcc orders ranges by (blkOff, subOff): the frozen sorted layout.
+// Insertion sort — a frame holds at most 8 ranges and sort.Slice's
+// reflection swapper allocates per call. Keys are unique within a frame, so
+// the order is identical to any comparison sort.
 func sortOcc(occ []occRange) {
-	sort.Slice(occ, func(i, j int) bool {
-		if occ[i].blkOff != occ[j].blkOff {
-			return occ[i].blkOff < occ[j].blkOff
+	for i := 1; i < len(occ); i++ {
+		for j := i; j > 0 && occLess(&occ[j], &occ[j-1]); j-- {
+			occ[j], occ[j-1] = occ[j-1], occ[j]
 		}
-		return occ[i].subOff < occ[j].subOff
-	})
+	}
+}
+
+func occLess(a, b *occRange) bool {
+	if a.blkOff != b.blkOff {
+		return a.blkOff < b.blkOff
+	}
+	return a.subOff < b.subOff
+}
+
+// ensureOccCap gives a frame its permanent occ backing on first touch,
+// carved from the controller's shared slab. A frame holds at most
+// SubBlocksPerBlock ranges, so the capacity never needs to grow and the
+// append sites below never reallocate.
+func (c *Controller) ensureOccCap(f *fastFrame) {
+	if cap(f.occ) != 0 {
+		return
+	}
+	const ways = config.SubBlocksPerBlock
+	if len(c.occSlab) < ways {
+		c.occSlab = make([]occRange, 64*ways)
+	}
+	f.occ = c.occSlab[:0:ways]
+	c.occSlab = c.occSlab[ways:]
+}
+
+// resetOcc drops every entry (the caller has dealt with the buffers) and
+// returns the empty slice with its capacity kept for reuse.
+func resetOcc(occ []occRange) []occRange {
+	for i := range occ {
+		occ[i] = occRange{}
+	}
+	return occ[:0]
 }
 
 // findOcc returns the index of the range covering (blkOff, sub), or -1.
@@ -253,15 +328,22 @@ func findOcc(f *fastFrame, blkOff, sub uint8) int {
 func (c *Controller) rebuildRemap(si, way int) {
 	m, f := c.fastDir.Way(si, way)
 	super := hybrid.SuperBlockID(m.Key)
-	perBlock := map[uint8]*remapInfo{}
 	for i := range f.occ {
 		rg := &f.occ[i]
 		b := c.blockID(super, rg.BlkOffU8())
 		ri := &c.remap[b]
-		if perBlock[rg.blkOff] == nil {
+		// Reset the entry on the block's first range. occ holds at most 8
+		// entries, so a linear scan of the prefix beats any allocated set.
+		first := true
+		for j := 0; j < i; j++ {
+			if f.occ[j].blkOff == rg.blkOff {
+				first = false
+				break
+			}
+		}
+		if first {
 			ri.remap, ri.cf2, ri.cf4, ri.z = 0, 0, 0, false
 			ri.way = int32(way)
-			perBlock[rg.blkOff] = ri
 		}
 		for s := rg.subOff; s < rg.subOff+rg.cf; s++ {
 			ri.remap |= 1 << s
@@ -289,6 +371,38 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 	flat := c.cfg.Mode == config.ModeFlat
 	nativeResident := c.frameHoldsNative(m, f)
 
+	// Batch the compressed-writeback fit trials of every range that will
+	// write back below. The verdicts are pure functions of the range
+	// contents, which the store copies below do not alter, so evaluating
+	// them up front in parallel matches the lazy serial outcome exactly.
+	var fits [8]bool
+	if c.cfg.CompressedWriteback && !c.cfg.CompressionOff {
+		a := c.arena
+		a.Begin()
+		var groups [8]int
+		queued := false
+		for i := range f.occ {
+			groups[i] = -1
+			rg := &f.occ[i]
+			if int(rg.cf) <= 1 || (flat && c.blockID(super, rg.blkOff) == f.native) {
+				continue
+			}
+			if !flat && !rg.dirty {
+				continue
+			}
+			groups[i] = c.addRangeFit(rg.data, int(rg.cf))
+			queued = true
+		}
+		if queued {
+			a.Run()
+			for i := range f.occ {
+				if groups[i] >= 0 {
+					fits[i] = a.Fits(groups[i])
+				}
+			}
+		}
+	}
+
 	if flat && !nativeResident && len(f.occ) > 0 {
 		// Three-way swap (Section III-F): the frame's original content is
 		// spread over the super-block; rearranging it so the evicted
@@ -315,9 +429,9 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 			// Handled below as a single spread write.
 		case flat:
 			// Migrated blocks swap back entirely (all sub-blocks move).
-			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
+			c.writeRangeToSlowFit(now, b, int(rg.subOff), int(rg.cf), fits[i])
 		case rg.dirty:
-			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
+			c.writeRangeToSlowFit(now, b, int(rg.subOff), int(rg.cf), fits[i])
 		}
 	}
 	if nativeResident {
@@ -326,18 +440,19 @@ func (c *Controller) evictFastFrame(now uint64, si, way int) {
 		c.eng.WriteSlowBG(now, c.slowAddr(f.native, 0), c.geom.blockBytes)
 	}
 
-	// Clear the remap entries of every block that lived here.
+	// Clear the remap entries of every block that lived here, and recycle
+	// the range buffers (the canonical store holds the content now).
 	for i := range f.occ {
 		b := c.blockID(super, f.occ[i].blkOff)
 		ri := &c.remap[b]
 		if ri.way == int32(way) {
 			*ri = remapInfo{way: -1}
 		}
+		c.freeRangeBuf(f.occ[i].data)
 	}
 	c.metaUpdate(now, super)
-	native := f.native
 	*m = hybrid.WayMeta{}
-	*f = fastFrame{native: native}
+	f.occ = resetOcc(f.occ)
 }
 
 // evictCommittedBlock evicts a single block from its committed frame
@@ -369,6 +484,7 @@ func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, over
 		if rg.dirty || c.cfg.Mode == config.ModeFlat {
 			c.writeRangeToSlow(now, b, int(rg.subOff), int(rg.cf), rg.data)
 		}
+		c.freeRangeBuf(rg.data)
 	}
 	f.occ = kept
 	if moved > 0 {
@@ -378,9 +494,7 @@ func (c *Controller) evictCommittedBlock(now uint64, si, way int, b uint64, over
 	ri := &c.remap[b]
 	*ri = remapInfo{way: -1}
 	if len(f.occ) == 0 && !(c.cfg.Mode == config.ModeFlat && c.frameHoldsNative(m, f)) {
-		native := f.native
-		*m = hybrid.WayMeta{}
-		*f = fastFrame{native: native}
+		*m = hybrid.WayMeta{} // occ is already empty; native stays with the frame
 	}
 	c.rebuildRemapSafe(si, way)
 	c.metaUpdate(now, c.superOf(b))
@@ -426,13 +540,14 @@ func (c *Controller) directInsert(now uint64, b uint64, s int, dirty bool) {
 		if tm.Valid {
 			c.evictFastFrame(now, si, targetW)
 		}
-		native := tf.native
+		native, occ := tf.native, resetOcc(tf.occ)
 		*tm = hybrid.WayMeta{Key: uint64(super), Valid: true}
-		*tf = fastFrame{native: native}
+		*tf = fastFrame{native: native, occ: occ}
 	}
 	m, f := c.fastDir.Way(si, targetW)
 	m.LastUse = c.seq
 	m.AllocSeq = c.seq
+	c.ensureOccCap(f)
 	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: content})
 	sortOcc(f.occ)
 	// Every insertion re-sorts the dense layout: rewrite the frame.
@@ -474,6 +589,7 @@ func (c *Controller) directInsertSub(now uint64, b uint64, s int, dirty bool) {
 			break
 		}
 	}
+	c.ensureOccCap(f)
 	f.occ = append(f.occ, occRange{blkOff: uint8(c.blkOff(b)), subOff: uint8(start), cf: uint8(cf), dirty: dirty, data: c.rangeContent(b, start, cf)})
 	sortOcc(f.occ)
 	c.ctr.resortRewrites.Inc()

@@ -10,6 +10,7 @@ package core
 
 import (
 	"baryon/internal/compress"
+	"baryon/internal/compress/pipeline"
 	"baryon/internal/config"
 	"baryon/internal/hybrid"
 	"baryon/internal/mem"
@@ -116,6 +117,12 @@ type Controller struct {
 	// deviceRegion bases (fast device address space).
 	stageBase, tableBase uint64
 
+	// arena batches the compression fit trials of the access flow — the
+	// aligned per-chunk checks of rangeFits and the compressed-writeback
+	// verdicts of frame evictions — across the shared worker pool of
+	// compress/pipeline. Output is byte-identical at any worker count.
+	arena *pipeline.Arena
+
 	// Per-controller scratch reused across Access calls to keep the hot
 	// path allocation-free. lineScratch backs the Data of slow-memory
 	// reads, prefetchScratch backs Result.Prefetched, and trialScratch
@@ -125,6 +132,22 @@ type Controller struct {
 	lineScratch     [hybrid.CachelineSize]byte
 	prefetchScratch []hybrid.PrefetchedLine
 	trialScratch    []byte
+
+	// rangePool recycles range content buffers by CF class (index = cf;
+	// buffer length = cf*subBytes). Range buffers move between stage
+	// frames and committed frames and must own their storage, so every
+	// site that drops a range's last reference returns the buffer here
+	// (freeRangeBuf) and rangeContent draws from the pool first. A reused
+	// buffer may still back the previous Access's Result.Data, which the
+	// hybrid.Result contract allows.
+	rangePool [5][][]byte
+	// rangeSlab backs pool misses: fresh buffers are carved from these
+	// per-CF slabs in rangeSlabBufs-buffer chunks.
+	rangeSlab [5][]byte
+	// occSlab backs first-touch occ slices: a fast frame holds at most
+	// SubBlocksPerBlock ranges, so each frame gets one full-capacity slice
+	// carved here and keeps it (resetOcc preserves capacity) forever.
+	occSlab []occRange
 }
 
 // geometry captures the per-variant sizes (Baryon vs Baryon-64B).
@@ -189,6 +212,7 @@ func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
 		fastCfg = mem.DDR4DetailedConfig()
 	}
 	c.eng = hybrid.NewEngine(fastCfg, mem.SlowPreset(cfg.SlowMemory), stats)
+	c.arena = c.eng.InitCompression(c.comp, cfg.CompressWorkers)
 
 	c.fastDir = hybrid.NewDirSets[fastFrame](g.sets, g.ways)
 	c.fastRep = hybrid.Replacer(hybrid.LRU{})
@@ -281,8 +305,9 @@ func (c *Controller) initFlatResidents() {
 			m.Key = uint64(c.superOf(b))
 			f.native = b
 			f.occ = nil
+			c.ensureOccCap(f)
 			for s := 0; s < config.SubBlocksPerBlock; s++ {
-				data := make([]byte, c.geom.subBytes)
+				data := c.newRangeBuf(1)
 				copy(data, c.slowSub(b, s))
 				f.occ = append(f.occ, occRange{
 					blkOff: uint8(c.blkOff(b)), subOff: uint8(s), cf: 1, data: data,

@@ -44,16 +44,20 @@ func (c *Controller) stageFind(ssi int, super hybrid.SuperBlockID, blkOff, s int
 func (c *Controller) stageFindBlock(ssi int, super hybrid.SuperBlockID, blkOff int) int {
 	for w := 0; w < c.geom.stageWays; w++ {
 		fr := c.stageDir.Payload(ssi, w)
-		if fr.tag.Valid && fr.tag.Super == super && len(fr.tag.BlockRanges(blkOff)) > 0 {
+		if fr.tag.Valid && fr.tag.Super == super && fr.tag.HasBlock(blkOff) {
 			return w
 		}
 	}
 	return -1
 }
 
-// removeStageSlot clears one slot (no writeback; callers handle data).
+// removeStageSlot clears one slot (no writeback; callers handle data) and
+// recycles its range buffer. Callers that move the buffer to another frame
+// must nil fr.data[slot] first, or the moved buffer would be recycled while
+// still referenced.
 func (c *Controller) removeStageSlot(fr *stageFrame, slot int) {
 	fr.tag.Slots[slot] = metadata.Range{}
+	c.freeRangeBuf(fr.data[slot])
 	fr.data[slot] = nil
 }
 
@@ -72,8 +76,21 @@ func (c *Controller) stageVictimSlot(now uint64, ssi, sw int) int {
 
 // writebackStageSlot pushes a dirty range's content to the canonical store
 // and charges the slow-memory write traffic (compressed when the
-// optimisation of Section III-F applies).
+// optimisation of Section III-F applies). The fit trial runs lazily;
+// batched eviction paths precompute it and call writebackStageSlotFit.
 func (c *Controller) writebackStageSlot(now uint64, fr *stageFrame, slot int) {
+	rg := fr.tag.Slots[slot]
+	if !rg.Valid || rg.Zero || !rg.Dirty {
+		return
+	}
+	fit := c.cfg.CompressedWriteback && int(rg.CF) > 1 && c.rangeFits(fr.data[slot], int(rg.CF))
+	c.writebackStageSlotFit(now, fr, slot, fit)
+}
+
+// writebackStageSlotFit is writebackStageSlot with the compressed-writeback
+// fit verdict precomputed (frame evictions batch the trials of all dirty
+// slots through the arena before writing any of them back).
+func (c *Controller) writebackStageSlotFit(now uint64, fr *stageFrame, slot int, fit bool) {
 	rg := fr.tag.Slots[slot]
 	if !rg.Valid || rg.Zero || !rg.Dirty {
 		return
@@ -84,15 +101,25 @@ func (c *Controller) writebackStageSlot(now uint64, fr *stageFrame, slot int) {
 		copy(c.slowSub(b, int(rg.SubOff)+i), content[uint64(i)*c.geom.subBytes:])
 		c.clearHints(b, int(rg.SubOff)+i)
 	}
-	c.writeRangeToSlow(now, b, int(rg.SubOff), int(rg.CF), content)
+	c.writeRangeToSlowFit(now, b, int(rg.SubOff), int(rg.CF), fit)
 }
 
 // writeRangeToSlow accounts the slow-device traffic of writing a range back,
 // keeping it compressed when enabled and recording the CF hint for future
 // slow-to-stage prefetching.
 func (c *Controller) writeRangeToSlow(now uint64, b uint64, subOff, cf int, content []byte) {
+	fit := c.cfg.CompressedWriteback && cf > 1 && c.rangeFits(content, cf)
+	c.writeRangeToSlowFit(now, b, subOff, cf, fit)
+}
+
+// writeRangeToSlowFit is writeRangeToSlow with the fit trial hoisted out,
+// so eviction paths can evaluate a whole frame's trials in one parallel
+// arena batch. The verdict is a pure function of the range content, which
+// the caller reads before any store mutation, so precomputing it cannot
+// change the outcome.
+func (c *Controller) writeRangeToSlowFit(now uint64, b uint64, subOff, cf int, compressed bool) {
 	bytes := uint64(cf) * c.geom.subBytes
-	if c.cfg.CompressedWriteback && cf > 1 && c.rangeFits(content, cf) {
+	if compressed {
 		bytes = c.geom.subBytes
 		switch cf {
 		case 2:
@@ -148,10 +175,49 @@ func (c *Controller) chooseRange(ssi int, super hybrid.SuperBlockID, blkOff int,
 }
 
 // rangeContent copies the canonical content of cf sub-blocks starting at
-// subOff of block b. The returned buffer is freshly allocated and may be
-// kept (range buffers move between frames and must own their storage).
+// subOff of block b. The returned buffer is owned by the caller and may be
+// kept (range buffers move between frames and must own their storage); it
+// comes from the controller's per-CF free list when one is available.
 func (c *Controller) rangeContent(b uint64, subOff, cf int) []byte {
-	return c.fillRange(make([]byte, uint64(cf)*c.geom.subBytes), b, subOff, cf)
+	return c.fillRange(c.newRangeBuf(cf), b, subOff, cf)
+}
+
+// newRangeBuf returns an owned buffer of cf sub-blocks, recycling a freed
+// one when possible. Buffers are pooled by exact length (cf in {1,2,4}), so
+// flat mode's many CF-1 resident buffers never bloat to 4*subBytes. Pool
+// misses carve from a per-CF slab, so growing the resident set costs one
+// allocation per rangeSlabBufs buffers rather than one per buffer.
+func (c *Controller) newRangeBuf(cf int) []byte {
+	pool := &c.rangePool[cf]
+	if n := len(*pool); n > 0 {
+		buf := (*pool)[n-1]
+		(*pool)[n-1] = nil
+		*pool = (*pool)[:n-1]
+		return buf
+	}
+	size := uint64(cf) * c.geom.subBytes
+	slab := &c.rangeSlab[cf]
+	if uint64(len(*slab)) < size {
+		*slab = make([]byte, rangeSlabBufs*size)
+	}
+	buf := (*slab)[:size:size]
+	*slab = (*slab)[size:]
+	return buf
+}
+
+// rangeSlabBufs is the number of range buffers carved from one slab chunk.
+const rangeSlabBufs = 64
+
+// freeRangeBuf returns a dead range buffer to its CF class's free list. The
+// buffer may still back the previous Access's Result.Data — reuse only
+// happens through a later rangeContent call, which the hybrid.Result
+// lifetime contract permits.
+func (c *Controller) freeRangeBuf(buf []byte) {
+	if buf == nil {
+		return
+	}
+	cf := uint64(len(buf)) / c.geom.subBytes
+	c.rangePool[cf] = append(c.rangePool[cf], buf)
 }
 
 // rangeContentScratch assembles the same bytes into the controller's trial
@@ -200,7 +266,7 @@ func (c *Controller) stageInsertRange(now uint64, ssi, sw int, b uint64, s int, 
 
 	// Z-bit: an all-zero block is staged as a single descriptor with no
 	// data movement at all.
-	if c.cfg.ZeroBlockOpt && !dirty && len(fr.tag.BlockRanges(blkOff)) == 0 && c.blockAllZero(b) {
+	if c.cfg.ZeroBlockOpt && !dirty && !fr.tag.HasBlock(blkOff) && c.blockAllZero(b) {
 		slot := fr.tag.FreeSlot()
 		if slot < 0 {
 			slot = c.stageFullSlot(now, ssi, &sw, b)
@@ -282,10 +348,15 @@ func (c *Controller) stageFullSlot(now uint64, ssi int, sw *int, b uint64) int {
 
 	// Move b's ranges to the new frame to keep Rule 3 (the move also gives
 	// re-grouping a chance to reduce fragmentation, as the paper notes).
+	// Slots are scanned in ascending order, matching BlockRanges.
 	slot := 0
-	for _, oldSlot := range old.tag.BlockRanges(blkOff) {
+	for oldSlot := range old.tag.Slots {
+		if r := old.tag.Slots[oldSlot]; !r.Valid || int(r.BlkOff) != blkOff {
+			continue
+		}
 		nw.tag.Slots[slot] = old.tag.Slots[oldSlot]
 		nw.data[slot] = old.data[oldSlot]
+		old.data[oldSlot] = nil // ownership moved; removeStageSlot must not recycle
 		c.removeStageSlot(old, oldSlot)
 		// Intra-fast-memory move traffic.
 		c.eng.FillFast(now, c.stageFrameAddr(ssi, lru, slot), c.geom.subBytes)

@@ -144,6 +144,9 @@ type world struct {
 	store    *hybrid.Store
 	versions map[uint64]uint32 // (block<<3|sub) -> version
 	dirty    map[uint64][]byte // lineAddr -> latest value
+	// arena carves dirty-line buffers out of a shared slab, so the first
+	// write to each line costs 1/256th of an allocation instead of one.
+	arena []byte
 }
 
 // worldSizeHint pre-sizes the world maps: runs touch thousands of distinct
@@ -173,7 +176,11 @@ func (w *world) writeValue(addr uint64) []byte {
 	w.versions[key]++
 	buf, ok := w.dirty[addr]
 	if !ok {
-		buf = make([]byte, hybrid.CachelineSize)
+		if len(w.arena) < hybrid.CachelineSize {
+			w.arena = make([]byte, 256*hybrid.CachelineSize)
+		}
+		buf = w.arena[:hybrid.CachelineSize:hybrid.CachelineSize]
+		w.arena = w.arena[hybrid.CachelineSize:]
 		w.dirty[addr] = buf
 	}
 	datagen.FillLine(buf, block, sub, line, w.versions[key], w.mix.ClassFor(block))
@@ -502,6 +509,47 @@ func (r *Runner) windowSince(m mark, st *runState) Window {
 	return w
 }
 
+// newRunState seeds the replay frontier: fresh per-core streams and clocks.
+// Footprints are defined in 2 kB blocks regardless of the controller's
+// internal geometry.
+func (r *Runner) newRunState() *runState {
+	cores := r.cfg.Cores
+	fp2k := (r.cfg.FastBytes - r.cfg.StageBytes) / 2048
+	st := &runState{
+		streams: r.src.Streams(cores, fp2k, r.cfg.Seed),
+		osBytes: r.cfg.OSBlocks() * r.cfg.BlockBytes,
+		clock:   make([]uint64, cores),
+		left:    make([]int, cores),
+		ready:   make(clockHeap, 0, cores),
+	}
+	st.sink, _ = r.ctrl.(hybrid.InstructionSink)
+	return st
+}
+
+// Stepper exposes the replay loop in resumable windows: each Window call
+// replays further accesses continuing the same interleaved timeline. This
+// is the harness for steady-state measurements — warm the simulation up
+// with one window, then probe subsequent windows (e.g. with
+// testing.AllocsPerRun) without the per-run construction costs. A Stepper
+// and Run/RunCtx must not be mixed on one Runner.
+type Stepper struct {
+	r  *Runner
+	st *runState
+}
+
+// Stepper returns a fresh stepping harness over the runner.
+func (r *Runner) Stepper() *Stepper {
+	return &Stepper{r: r, st: r.newRunState()}
+}
+
+// Window replays perCore accesses on every core.
+func (s *Stepper) Window(perCore int) {
+	s.r.runWindow(s.st, perCore, 0, nil)
+}
+
+// Accesses returns the cumulative accesses replayed so far.
+func (s *Stepper) Accesses() uint64 { return s.st.accesses }
+
 // Run replays the configured warmup window (if any), snapshots every
 // counter in the run registry, then replays accessesPerCore accesses on
 // each core and returns measurement-window metrics, plus the per-epoch
@@ -518,19 +566,7 @@ func (r *Runner) Run() Result {
 // and RunCtx(context.Background()) are bit-identical.
 func (r *Runner) RunCtx(ctx context.Context) (Result, error) {
 	r.ctxDone = ctx.Done()
-	cores := r.cfg.Cores
-	// Footprints are defined in 2 kB blocks regardless of the controller's
-	// internal geometry.
-	fp2k := (r.cfg.FastBytes - r.cfg.StageBytes) / 2048
-
-	st := &runState{
-		streams: r.src.Streams(cores, fp2k, r.cfg.Seed),
-		osBytes: r.cfg.OSBlocks() * r.cfg.BlockBytes,
-		clock:   make([]uint64, cores),
-		left:    make([]int, cores),
-		ready:   make(clockHeap, 0, cores),
-	}
-	st.sink, _ = r.ctrl.(hybrid.InstructionSink)
+	st := r.newRunState()
 
 	start := r.mark(st)
 	st.phase = "warmup"

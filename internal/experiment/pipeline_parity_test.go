@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"baryon/internal/compress/pipeline"
+)
+
+// diffLine reports the first line where two dumps diverge.
+func diffLine(t *testing.T, label string, got, want []byte) {
+	t.Helper()
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("%s diverges from serial at line %d:\n got: %s\nwant: %s",
+				label, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s diverges from serial in length: got %d lines, want %d", label, len(gl), len(wl))
+}
+
+// TestPipelineParityAcrossWorkerCounts pins the compression arena's
+// determinism contract end to end: the full cross-design dump (every
+// registered design, cache and flat schemes, all counters and histograms)
+// must be byte-identical whether fit checks run serially or fanned over any
+// number of workers. Run under -race this also exercises the helper pool
+// for data races on the shared compressor and result slots.
+func TestPipelineParityAcrossWorkerCounts(t *testing.T) {
+	defer pipeline.SetDefaultWorkers(0)
+
+	pipeline.SetDefaultWorkers(1)
+	serial := designGoldenDump()
+
+	for _, n := range []int{2, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
+		pipeline.SetDefaultWorkers(n)
+		got := designGoldenDump()
+		if !bytes.Equal(got, serial) {
+			diffLine(t, fmt.Sprintf("workers=%d dump", n), got, serial)
+		}
+	}
+}
+
+// TestCompressWorkersConfigParity covers the per-run override: pinning
+// Config.CompressWorkers must not change a run's observable result either.
+func TestCompressWorkersConfigParity(t *testing.T) {
+	dump := func(workers int) []byte {
+		cfg := designGoldenConfig()
+		cfg.CompressWorkers = workers
+		var buf bytes.Buffer
+		dumpDesignRun(&buf, cfg, "505.mcf_r", DesignBaryon)
+		return buf.Bytes()
+	}
+	serial := dump(1)
+	for _, n := range []int{2, runtime.GOMAXPROCS(0)} {
+		if got := dump(n); !bytes.Equal(got, serial) {
+			diffLine(t, fmt.Sprintf("compressWorkers=%d run", n), got, serial)
+		}
+	}
+}

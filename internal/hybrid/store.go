@@ -9,12 +9,19 @@ package hybrid
 type Store struct {
 	blocks map[BlockID]*[BlockSize]byte
 	fill   func(b BlockID, dst *[BlockSize]byte)
+	// slab batches block materialisation: blocks are carved from 64-block
+	// chunks instead of allocated one by one, cutting first-touch
+	// allocations by the chunk factor on the access hot path.
+	slab     *[storeSlabBlocks][BlockSize]byte
+	slabUsed int
 }
+
+const storeSlabBlocks = 64
 
 // NewStore creates a store whose untouched blocks are produced by fill.
 // A nil fill yields all-zero blocks.
 func NewStore(fill func(b BlockID, dst *[BlockSize]byte)) *Store {
-	return &Store{blocks: make(map[BlockID]*[BlockSize]byte), fill: fill}
+	return &Store{blocks: make(map[BlockID]*[BlockSize]byte, 256), fill: fill}
 }
 
 // Block returns the content of block b, materialising it if needed.
@@ -22,7 +29,12 @@ func (s *Store) Block(b BlockID) *[BlockSize]byte {
 	if blk, ok := s.blocks[b]; ok {
 		return blk
 	}
-	blk := new([BlockSize]byte)
+	if s.slab == nil || s.slabUsed == storeSlabBlocks {
+		s.slab = new([storeSlabBlocks][BlockSize]byte)
+		s.slabUsed = 0
+	}
+	blk := &s.slab[s.slabUsed]
+	s.slabUsed++
 	if s.fill != nil {
 		s.fill(b, blk)
 	}

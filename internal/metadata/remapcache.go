@@ -9,8 +9,12 @@ import "baryon/internal/sim"
 // controller's remap table (resident in fast memory).
 type RemapCache struct {
 	sets, ways int
-	tags       [][]rcLine
-	tick       uint64
+	// lines is the flat sets*ways tag array; set i occupies
+	// lines[i*ways : (i+1)*ways]. One backing array instead of a slice per
+	// set keeps construction to a single allocation (controllers are built
+	// per run) and the probe loop on one cache-friendly span.
+	lines []rcLine
+	tick  uint64
 
 	hits, misses, writebacks *sim.Counter
 }
@@ -28,17 +32,17 @@ type rcLine struct {
 // registers bare names.
 func NewRemapCache(sets, ways int, stats *sim.Stats) *RemapCache {
 	c := &RemapCache{sets: sets, ways: ways}
-	c.tags = make([][]rcLine, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]rcLine, ways)
-	}
+	c.lines = make([]rcLine, sets*ways)
 	c.hits = stats.Counter("hits")
 	c.misses = stats.Counter("misses")
 	c.writebacks = stats.Counter("writebacks")
 	return c
 }
 
-func (c *RemapCache) set(super uint64) []rcLine { return c.tags[super%uint64(c.sets)] }
+func (c *RemapCache) set(super uint64) []rcLine {
+	i := int(super%uint64(c.sets)) * c.ways
+	return c.lines[i : i+c.ways]
+}
 
 // Lookup probes for super's line, updating LRU and counters.
 func (c *RemapCache) Lookup(super uint64) bool {

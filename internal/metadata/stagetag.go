@@ -159,3 +159,15 @@ func (t *StageTag) BlockRanges(blkOff int) []int {
 	}
 	return out
 }
+
+// HasBlock reports whether any slot holds a range of block blkOff — the
+// allocation-free form of len(BlockRanges(blkOff)) > 0 for the access hot
+// path.
+func (t *StageTag) HasBlock(blkOff int) bool {
+	for _, r := range t.Slots {
+		if r.Valid && int(r.BlkOff) == blkOff {
+			return true
+		}
+	}
+	return false
+}
