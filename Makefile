@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke check
+.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -65,4 +65,10 @@ fuzz-smoke:
 cancel-smoke:
 	sh scripts/cancel_smoke.sh
 
-check: build vet lint race bench fuzz-smoke cancel-smoke
+# End-to-end three-tier check: the shipped DRAM+NVM+CXL design files run
+# through cmd/baryonsim -design-file deterministically with a per-tier
+# traffic breakdown (see scripts/cxl_smoke.sh).
+cxl-smoke:
+	sh scripts/cxl_smoke.sh
+
+check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke

@@ -123,6 +123,15 @@ func main() {
 	if *mode == "flat" {
 		cfg.Mode = config.ModeFlat
 	}
+	// Validate the run's device topology (the design's overrides applied to
+	// the base config) up front, so an unknown tier preset fails here with
+	// the registered-preset list instead of deep in construction.
+	if spec, ok := experiment.Lookup(*design); ok {
+		if err := experiment.ValidateSpec(spec, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	var r *cpu.Runner
 	if *traceFile != "" {
@@ -218,6 +227,10 @@ func main() {
 			"slowBytes":     res.SlowBytes,
 			"energyPJ":      res.EnergyPJ,
 		}
+		if len(res.TierNames) > 0 {
+			out["tiers"] = res.TierNames
+			out["tierBytes"] = res.TierBytes
+		}
 		if cfg.WarmupAccessesPerCore > 0 {
 			out["warmup"] = res.Warmup
 			out["measured"] = res.Measured
@@ -254,6 +267,9 @@ func main() {
 	fmt.Printf("bloat factor:    %.2f\n", res.BloatFactor)
 	fmt.Printf("fast traffic:    %.1f MB\n", float64(res.FastBytes)/(1<<20))
 	fmt.Printf("slow traffic:    %.1f MB\n", float64(res.SlowBytes)/(1<<20))
+	for i, name := range res.TierNames {
+		fmt.Printf("  tier %d %-12s %.1f MB\n", i, name+":", float64(res.TierBytes[i])/(1<<20))
+	}
 	fmt.Printf("memory energy:   %.2f mJ\n", res.EnergyPJ/1e9)
 	if cfg.WarmupAccessesPerCore > 0 {
 		fmt.Printf("warmup window:   %d accesses, IPC %.3f, fast serve %.1f%%\n",

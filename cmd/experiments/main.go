@@ -29,7 +29,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use a reduced access budget per core")
-	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat|resilience")
+	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat|resilience|cxl")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry remaining experiments are cancelled and the exit status is non-zero")
@@ -83,6 +83,7 @@ func main() {
 		{"ddrfidelity", func() *experiment.Table { _, t := experiment.DDRFidelitySweep(cfg); return t }},
 		{"taillat", func() *experiment.Table { return experiment.TailLatency(cfg) }},
 		{"resilience", func() *experiment.Table { _, t := experiment.Resilience(cfg); return t }},
+		{"cxl", func() *experiment.Table { _, t := experiment.CXLSweep(cfg); return t }},
 	}
 
 	// Buffer stdout and check the flush: a deferred or implicit flush would

@@ -122,7 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	header := []string{"workload", "design", "mode", "seed", "status", "cycles",
 		"instructions", "ipc", "fastServeRate", "bloatFactor",
 		"fastBytes", "slowBytes", "energyPJ",
-		"memLatP50", "memLatP99", "memLatMax", "error"}
+		"memLatP50", "memLatP99", "memLatMax", "tiers", "tierBytes", "error"}
 	if err := out.Write(header); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -167,6 +167,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Sprintf("%.1f", res.Measured.MemLat.P50),
 				fmt.Sprintf("%.1f", res.Measured.MemLat.P99),
 				strconv.FormatUint(res.Measured.MemLat.Max, 10),
+				strings.Join(res.TierNames, "+"),
+				tierBytesCell(res.TierBytes),
 				errorCell(pr.Err),
 			}
 			if err := out.Write(row); err != nil {
@@ -193,6 +195,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// tierBytesCell renders the per-tier traffic breakdown as a ";"-joined cell
+// (empty on classic two-tier runs, like the tiers column).
+func tierBytesCell(b []uint64) string {
+	if len(b) == 0 {
+		return ""
+	}
+	parts := make([]string, len(b))
+	for i, v := range b {
+		parts[i] = strconv.FormatUint(v, 10)
+	}
+	return strings.Join(parts, ";")
 }
 
 // errorCell renders an error as a single-line CSV cell; panics carry a

@@ -52,12 +52,13 @@ type diceSlot struct {
 	dirty   uint8
 }
 
-// NewDICE builds the DICE baseline with fastBytes of cache.
-func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompressLatency uint64) *DICE {
+// NewDICE builds the DICE baseline with fastBytes of cache. tiers selects
+// the device topology; nil keeps the classic DDR4-over-NVM pair.
+func NewDICE(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, decompressLatency uint64, tiers []hybrid.TierSpec) *DICE {
 	d := &DICE{
 		store: store, stats: stats,
 		comp:              compress.New(true),
-		eng:               hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
+		eng:               hybrid.NewEngineFrom(tiers, stats),
 		dir:               hybrid.NewDirSets[diceSlot](fastBytes/hybrid.CachelineSize, 1),
 		cfCache:           make(map[uint64]uint8),
 		decompressLatency: decompressLatency,

@@ -55,9 +55,11 @@ const (
 )
 
 // NewOSPaging builds the OS-managed baseline with fastBytes of fast memory.
-func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats) *OSPaging {
+// tiers selects the device topology; nil keeps the classic DDR4-over-NVM
+// pair.
+func NewOSPaging(fastBytes uint64, store *hybrid.Store, stats *sim.Stats, tiers []hybrid.TierSpec) *OSPaging {
 	o := &OSPaging{
-		eng:        hybrid.NewEngine(mem.DDR4Config(), mem.NVMConfig(), stats),
+		eng:        hybrid.NewEngineFrom(tiers, stats),
 		store:      store,
 		stats:      stats,
 		fastPages:  int(fastBytes / osPageSize),

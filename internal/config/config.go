@@ -94,6 +94,11 @@ type Config struct {
 	// bank-state engine (JEDEC timings + refresh) instead of the busy-until
 	// model.
 	DetailedDDR bool
+	// Tiers, when non-empty, declares the full ordered device topology
+	// (tier 0 = fast) and supersedes the SlowMemory/DetailedDDR two-tier
+	// shorthand; see TierSpecs. Empty — the default everywhere — keeps the
+	// classic DDR4-over-SlowMemory pair.
+	Tiers []TierConfig
 
 	// Run shape.
 	AccessesPerCore int

@@ -51,6 +51,10 @@ type Overrides struct {
 	SlowMemory    *string  `json:"slowMemory,omitempty"`
 	DetailedDDR   *bool    `json:"detailedDDR,omitempty"`
 
+	// Tiers replaces the run's device topology wholesale (like Fault, a
+	// partial merge of an ordered list would be ambiguous).
+	Tiers *[]TierConfig `json:"tiers,omitempty"`
+
 	// Fault replaces the run's fault-injection config wholesale (a partial
 	// merge of nested fault fields would be ambiguous between "unset" and
 	// "zero").
@@ -102,6 +106,7 @@ func (o *Overrides) Apply(c *Config) error {
 	setIf(&c.NoLLCPrefetch, o.NoLLCPrefetch)
 	setIf(&c.SlowMemory, o.SlowMemory)
 	setIf(&c.DetailedDDR, o.DetailedDDR)
+	setIf(&c.Tiers, o.Tiers)
 	setIf(&c.Fault, o.Fault)
 	return nil
 }

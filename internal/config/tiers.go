@@ -1,0 +1,119 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"baryon/internal/hybrid"
+	"baryon/internal/mem"
+)
+
+// TierConfig declares one memory tier of a run by preset name plus local
+// overrides. It is the JSON schema of the "tiers" section in -design-file
+// specs.
+type TierConfig struct {
+	// Preset names a registered device preset (mem.Presets): "ddr4",
+	// "ddr4-detailed", "nvm", "optane", "pcm", "cxl-dram", "cxl-ibex".
+	Preset string `json:"preset"`
+	// Name overrides the device (and stats scope) name, e.g. to distinguish
+	// two tiers built from the same preset.
+	Name string `json:"name,omitempty"`
+	// Bytes is the capacity window of canonical far addresses this tier
+	// owns. Required on intermediate far tiers (1..n-2); ignored on tier 0
+	// and optional on the last tier (the catch-all).
+	Bytes uint64 `json:"bytes,omitempty"`
+	// CXL replaces the preset's expander-link params wholesale (nil keeps
+	// the preset's own, which is how "cxl-dram"/"cxl-ibex" get theirs).
+	CXL *mem.CXLParams `json:"cxl,omitempty"`
+}
+
+// resolve turns the tier declaration into a device config.
+func (t *TierConfig) resolve() (mem.Config, error) {
+	cfg, ok := mem.PresetByName(t.Preset)
+	if !ok {
+		return mem.Config{}, fmt.Errorf("config: unknown tier preset %q (registered: %s)",
+			t.Preset, strings.Join(mem.Presets(), ", "))
+	}
+	if t.Name != "" {
+		cfg.Name = t.Name
+	}
+	if t.CXL != nil {
+		p := *t.CXL
+		cfg.CXL = &p
+	}
+	return cfg, nil
+}
+
+// TierSpecs returns the engine tier list this config describes. An empty
+// Tiers section canonicalizes to the classic two-tier topology — DDR4
+// (honouring DetailedDDR) over the SlowMemory preset — which is what keeps
+// every historical config loading and behaving bit-identically. A non-empty
+// section resolves each declared tier in order.
+func (c *Config) TierSpecs() ([]hybrid.TierSpec, error) {
+	if len(c.Tiers) == 0 {
+		fastCfg := mem.DDR4Config()
+		if c.DetailedDDR {
+			fastCfg = mem.DDR4DetailedConfig()
+		}
+		return []hybrid.TierSpec{
+			{Cfg: fastCfg},
+			{Cfg: mem.SlowPreset(c.SlowMemory)},
+		}, nil
+	}
+	if len(c.Tiers) < 2 {
+		return nil, fmt.Errorf("config: tiers needs at least 2 entries, got %d", len(c.Tiers))
+	}
+	specs := make([]hybrid.TierSpec, 0, len(c.Tiers))
+	for i := range c.Tiers {
+		devCfg, err := c.Tiers[i].resolve()
+		if err != nil {
+			return nil, fmt.Errorf("tier %d: %w", i, err)
+		}
+		if i >= 1 && i < len(c.Tiers)-1 && c.Tiers[i].Bytes == 0 {
+			return nil, fmt.Errorf("config: tier %d (%s) is an intermediate far tier and needs bytes set",
+				i, devCfg.Name)
+		}
+		specs = append(specs, hybrid.TierSpec{Cfg: devCfg, Bytes: c.Tiers[i].Bytes})
+	}
+	return specs, nil
+}
+
+// Validate checks the configuration's device topology up front, so an
+// unknown preset or a malformed tier list fails at config-validation time
+// with an actionable message instead of deep in construction. It mirrors
+// how unknown -design names are rejected.
+func (c *Config) Validate() error {
+	if c.SlowMemory != "" {
+		known := false
+		for _, name := range mem.SlowPresetNames() {
+			if c.SlowMemory == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("config: unknown slowMemory preset %q (registered: %s)",
+				c.SlowMemory, strings.Join(mem.SlowPresetNames(), ", "))
+		}
+	}
+	if len(c.Tiers) == 0 {
+		return nil
+	}
+	specs, err := c.TierSpecs()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]int, len(specs))
+	for i, spec := range specs {
+		if prev, dup := seen[spec.Cfg.Name]; dup {
+			return fmt.Errorf("config: tiers %d and %d share device name %q; set a distinct name",
+				prev, i, spec.Cfg.Name)
+		}
+		seen[spec.Cfg.Name] = i
+		if spec.Cfg.CXL != nil && !mem.ValidCXLCompression(spec.Cfg.CXL.Compression) {
+			return fmt.Errorf("config: tier %d (%s): unknown cxl compression %q (want one of: fpc, bdi, best, or empty)",
+				i, spec.Cfg.Name, spec.Cfg.CXL.Compression)
+		}
+	}
+	return nil
+}

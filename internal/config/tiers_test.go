@@ -1,0 +1,167 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"baryon/internal/mem"
+)
+
+// TestTierSpecsCanonicalizeTwoTier pins the back-compat contract: an empty
+// Tiers section resolves to the exact DDR4-over-SlowMemory pair the engine
+// was historically built from.
+func TestTierSpecsCanonicalizeTwoTier(t *testing.T) {
+	cfg := Scaled()
+	specs, err := cfg.TierSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d tiers, want 2", len(specs))
+	}
+	if specs[0].Cfg.Name != "DDR4-3200" || specs[1].Cfg.Name != "NVM" {
+		t.Fatalf("canonical pair = %s/%s, want DDR4-3200/NVM", specs[0].Cfg.Name, specs[1].Cfg.Name)
+	}
+
+	cfg.DetailedDDR = true
+	cfg.SlowMemory = "optane"
+	specs, err = cfg.TierSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Cfg.DetailedTiming == nil {
+		t.Fatalf("DetailedDDR not honoured by canonical tier 0")
+	}
+	if specs[1].Cfg.Name != "Optane" {
+		t.Fatalf("SlowMemory not honoured: got %s", specs[1].Cfg.Name)
+	}
+}
+
+// TestTierSpecsThreeTier resolves an explicit DRAM+NVM+CXL topology.
+func TestTierSpecsThreeTier(t *testing.T) {
+	cfg := Scaled()
+	cfg.Tiers = []TierConfig{
+		{Preset: "ddr4"},
+		{Preset: "nvm", Bytes: 64 << 20},
+		{Preset: "cxl-dram"},
+	}
+	specs, err := cfg.TierSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d tiers, want 3", len(specs))
+	}
+	if specs[1].Bytes != 64<<20 {
+		t.Fatalf("tier 1 window = %d, want %d", specs[1].Bytes, uint64(64<<20))
+	}
+	if !specs[2].Cfg.CXL.Enabled() {
+		t.Fatalf("cxl-dram tier lost its link params")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid three-tier config rejected: %v", err)
+	}
+}
+
+// TestValidateRejections checks up-front validation fails with actionable
+// messages — including the registered-preset list — instead of deep in
+// construction.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"unknown slow preset", func(c *Config) { c.SlowMemory = "mram" }, "unknown slowMemory preset"},
+		{"unknown tier preset", func(c *Config) {
+			c.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "hbm9"}}
+		}, "registered:"},
+		{"single tier", func(c *Config) {
+			c.Tiers = []TierConfig{{Preset: "ddr4"}}
+		}, "at least 2"},
+		{"intermediate without bytes", func(c *Config) {
+			c.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "nvm"}, {Preset: "cxl-dram"}}
+		}, "needs bytes"},
+		{"duplicate names", func(c *Config) {
+			c.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "nvm", Bytes: 1 << 20}, {Preset: "nvm"}}
+		}, "share device name"},
+		{"bad cxl compression", func(c *Config) {
+			c.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "cxl-dram",
+				CXL: &mem.CXLParams{LinkLatencyCycles: 10, Compression: "zip"}}}
+		}, "unknown cxl compression"},
+	}
+	for _, tc := range cases {
+		cfg := Scaled()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted a bad config", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Ptr(Scaled()).Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	// The unknown-preset message must name the registry so the fix is
+	// discoverable from the error alone.
+	cfg := Scaled()
+	cfg.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "hbm9"}}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "cxl-dram") {
+		t.Fatalf("unknown-preset error should list registered presets, got: %v", err)
+	}
+}
+
+// TestOverridesTiersRoundTrip checks the wholesale-replace semantics and the
+// JSON round-trip of the tiers and per-tier fault override fields.
+func TestOverridesTiersRoundTrip(t *testing.T) {
+	raw := `{
+		"tiers": [
+			{"preset": "ddr4"},
+			{"preset": "nvm", "bytes": 67108864},
+			{"preset": "cxl-ibex", "name": "expander",
+			 "cxl": {"linkLatencyCycles": 64, "linkBytesPerCycle": 4, "internalBytesPerCycle": 6, "compression": "bdi"}}
+		],
+		"fault": {"tiers": [{}, {"ber": 1e-6}, {"ber": 1e-5}]}
+	}`
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var o Overrides
+	if err := dec.Decode(&o); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Scaled()
+	cfg.Tiers = []TierConfig{{Preset: "ddr4"}, {Preset: "pcm"}} // must be replaced wholesale
+	if err := o.Apply(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tiers) != 3 || cfg.Tiers[2].Name != "expander" {
+		t.Fatalf("tiers not replaced wholesale: %+v", cfg.Tiers)
+	}
+	if cfg.Tiers[2].CXL == nil || cfg.Tiers[2].CXL.Compression != "bdi" {
+		t.Fatalf("tier CXL params lost in Apply: %+v", cfg.Tiers[2].CXL)
+	}
+	if got := cfg.Fault.ForTier(2).BER; got != 1e-5 {
+		t.Fatalf("per-tier fault params lost: tier 2 BER = %g", got)
+	}
+	if beyond := cfg.Fault.ForTier(7); beyond.Enabled() {
+		t.Fatalf("fault params beyond the tier list must be disabled")
+	}
+
+	// Marshal/decode round-trip preserves the override exactly.
+	out, err := json.Marshal(&o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o2 Overrides
+	if err := json.Unmarshal(out, &o2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o, o2) {
+		t.Fatalf("overrides changed across JSON round-trip:\n before: %+v\n after:  %+v", o, o2)
+	}
+}

@@ -207,11 +207,14 @@ func New(cfg config.Config, store *hybrid.Store, stats *sim.Stats) *Controller {
 	g.osBlocks = cfg.OSBlocks()
 	g.fastBlocks = cfg.FastBlocks()
 
-	fastCfg := mem.DDR4Config()
-	if cfg.DetailedDDR {
-		fastCfg = mem.DDR4DetailedConfig()
+	// The tier list comes from the config (empty Tiers canonicalizes to the
+	// classic DDR4-over-SlowMemory pair). A resolve error here is a
+	// programming error: user-facing paths run Config.Validate first.
+	specs, err := cfg.TierSpecs()
+	if err != nil {
+		panic(err)
 	}
-	c.eng = hybrid.NewEngine(fastCfg, mem.SlowPreset(cfg.SlowMemory), stats)
+	c.eng = hybrid.NewEngineTiers(specs, stats)
 	c.arena = c.eng.InitCompression(c.comp, cfg.CompressWorkers)
 
 	c.fastDir = hybrid.NewDirSets[fastFrame](g.sets, g.ways)

@@ -92,19 +92,19 @@ func TestEndToEndIntegrityBaselines(t *testing.T) {
 	cfg := smallIntegrityConfig()
 	factories := map[string]ControllerFactory{
 		"simple": func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats)
+			return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, nil)
 		},
 		"unison": func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed)
+			return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed, nil)
 		},
 		"dice": func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency)
+			return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency, nil)
 		},
 		"hybrid2": func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
 			return baselines.NewHybrid2(cfg, store, stats)
 		},
 		"ospaging": func(cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
-			return baselines.NewOSPaging(cfg.FastBytes, store, stats)
+			return baselines.NewOSPaging(cfg.FastBytes, store, stats, nil)
 		},
 	}
 	for name, f := range factories {

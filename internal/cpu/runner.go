@@ -50,6 +50,11 @@ type Window struct {
 	// FastBytes/SlowBytes are the window's device traffic.
 	FastBytes uint64 `json:"fastBytes"`
 	SlowBytes uint64 `json:"slowBytes"`
+	// TierBytes is the per-tier traffic breakdown (tier 0 first), populated
+	// only on topologies beyond the classic two tiers — two-tier output is
+	// fully described by FastBytes/SlowBytes and stays byte-identical. When
+	// set, SlowBytes covers every far tier combined.
+	TierBytes []uint64 `json:"tierBytes,omitempty"`
 	// EnergyPJ is the window's memory-system access energy.
 	EnergyPJ float64 `json:"energyPJ"`
 	// MemLat digests the window's whole-plane demand completion-latency
@@ -95,6 +100,10 @@ type Result struct {
 	EnergyPJ float64
 	// FastBytes/SlowBytes are total device traffic.
 	FastBytes, SlowBytes uint64
+	// TierNames/TierBytes break traffic down per device tier (tier 0
+	// first); populated only for topologies beyond the classic two tiers.
+	TierNames []string
+	TierBytes []uint64
 	Stats                *sim.Stats
 	// MeanRangeCF is the mean quantised compression factor of staged
 	// ranges (Fig. 12); nonzero only for controllers that track it.
@@ -506,6 +515,22 @@ func (r *Runner) windowSince(m mark, st *runState) Window {
 		useful := m.snap.DeltaOf(hc.LLCMisses) * hybrid.CachelineSize
 		w.BloatFactor = sim.Ratio(w.FastBytes, useful)
 	}
+	if ep, ok := r.ctrl.(hybrid.EngineProvider); ok {
+		if tiers := ep.Engine().Tiers(); len(tiers) > 2 {
+			// Beyond two tiers the fast/slow pair under-reports: break
+			// traffic down per tier and fold every far tier (and its
+			// energy) into the far-side aggregates.
+			w.TierBytes = make([]uint64, len(tiers))
+			for i, t := range tiers {
+				tc := t.Device().Counters()
+				w.TierBytes[i] = m.snap.DeltaOf(tc.BytesRead) + m.snap.DeltaOf(tc.BytesWritten)
+				if i >= 2 {
+					w.SlowBytes += w.TierBytes[i]
+					w.EnergyPJ += m.snap.DeltaOfFloat(tc.EnergyPJ)
+				}
+			}
+		}
+	}
 	return w
 }
 
@@ -609,6 +634,15 @@ func (r *Runner) RunCtx(ctx context.Context) (Result, error) {
 		Warmup:        warmup,
 		Measured:      measured,
 		Epochs:        epochs,
+	}
+	if ep, ok := r.ctrl.(hybrid.EngineProvider); ok {
+		if tiers := ep.Engine().Tiers(); len(tiers) > 2 {
+			res.TierNames = make([]string, len(tiers))
+			for i, t := range tiers {
+				res.TierNames[i] = t.Name()
+			}
+			res.TierBytes = measured.TierBytes
+		}
 	}
 	if p, ok := r.ctrl.(MeanRangeCFProvider); ok {
 		res.MeanRangeCF = p.MeanRangeCF()

@@ -70,7 +70,7 @@ func TestRunnerWarmupZeroMatchesColdStart(t *testing.T) {
 	if res.Warmup.Accesses != 0 || res.Warmup.Cycles != 0 {
 		t.Errorf("warmup window not empty: %+v", res.Warmup)
 	}
-	if res.Measured != res.Warmup && res.Measured.Accesses == 0 {
+	if res.Measured.Accesses == 0 {
 		t.Error("measurement window empty")
 	}
 	if res.Cycles != res.Measured.Cycles {

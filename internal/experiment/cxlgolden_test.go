@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"baryon/internal/compress/pipeline"
+	"baryon/internal/trace"
+)
+
+// tiersGoldenDump renders the three-tier built-ins (the same controllers
+// over the DRAM+NVM+CXL topology) with the full dumpDesignRun detail — the
+// byte-identity witness for the N-tier engine path, the far-address routing
+// windows and the CXL link model.
+func tiersGoldenDump() []byte {
+	var buf bytes.Buffer
+	for _, workload := range []string{"505.mcf_r", "YCSB-A"} {
+		for _, design := range []string{DesignUnisonCXL, DesignDICECXL, DesignBaryonCXL} {
+			dumpDesignRun(&buf, designGoldenConfig(), workload, design)
+		}
+	}
+	return buf.Bytes()
+}
+
+// compareGolden is the shared pin-or-regenerate body of the tier goldens,
+// honouring the package's -update-golden flag.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		diffLine(t, name, got, want)
+	}
+}
+
+// TestDesignsTiersGolden locks the three-tier designs' observable behaviour:
+// every counter, histogram and headline metric of the DRAM+NVM+CXL runs.
+// Regenerate deliberately with
+//
+//	go test ./internal/experiment -run DesignsTiersGolden -update-golden
+func TestDesignsTiersGolden(t *testing.T) {
+	compareGolden(t, "designs_tiers.golden", tiersGoldenDump())
+}
+
+// TestCXLSweepGolden pins the cxl experiment's link-bandwidth sweep table,
+// so the expander model's queueing, latency and compression accounting stay
+// deterministic and refactor-stable end to end.
+func TestCXLSweepGolden(t *testing.T) {
+	cfg := designGoldenConfig()
+	_, table := CXLSweep(cfg)
+	var buf bytes.Buffer
+	table.Render(&buf)
+	compareGolden(t, "cxl_quick.golden", buf.Bytes())
+}
+
+// TestTiersParityAcrossWorkerCounts extends the compression arena's
+// determinism contract to the three-tier designs: the full DRAM+NVM+CXL dump
+// must be byte-identical whether fit checks run serially or fanned over any
+// number of workers. Under -race this also sweeps the CXL link state for
+// data races.
+func TestTiersParityAcrossWorkerCounts(t *testing.T) {
+	defer pipeline.SetDefaultWorkers(0)
+
+	pipeline.SetDefaultWorkers(1)
+	serial := tiersGoldenDump()
+
+	for _, n := range []int{2, runtime.GOMAXPROCS(0)} {
+		pipeline.SetDefaultWorkers(n)
+		if got := tiersGoldenDump(); !bytes.Equal(got, serial) {
+			diffLine(t, fmt.Sprintf("workers=%d tiers dump", n), got, serial)
+		}
+	}
+}
+
+// TestTierSpecFilesEndToEnd exercises the -design-file path for three-tier
+// topologies: the two shipped DRAM+NVM+CXL spec files load, register and run
+// end to end, and the results carry a per-tier traffic breakdown with the
+// expander tier actually serving traffic.
+func TestTierSpecFilesEndToEnd(t *testing.T) {
+	w, ok := trace.ByName("505.mcf_r")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	for _, file := range []string{"design_cxl_baryon.json", "design_cxl_unison.json"} {
+		spec, err := LoadSpecFile(filepath.Join("testdata", file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		cfg := designGoldenConfig()
+		cfg.AccessesPerCore = 500
+		res, err := RunOneCtx(context.Background(), cfg, w, spec.Name)
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", file, spec.Name, err)
+		}
+		if res.Cycles == 0 || res.Instructions == 0 {
+			t.Errorf("%s: empty run: %+v", file, res)
+		}
+		if len(res.TierNames) != 3 || len(res.TierBytes) != 3 {
+			t.Fatalf("%s: tier breakdown = %v / %v, want 3 tiers", file, res.TierNames, res.TierBytes)
+		}
+		if res.TierBytes[0] == 0 {
+			t.Errorf("%s: fast tier saw no traffic", file)
+		}
+		if res.TierBytes[2] == 0 {
+			t.Errorf("%s: CXL tier saw no traffic (names %v)", file, res.TierNames)
+		}
+	}
+}

@@ -35,7 +35,27 @@ const (
 	DesignBaryonFA  = "Baryon-FA"
 	DesignHybrid2   = "Hybrid2"
 	DesignOSPaging  = "OSPaging"
+	// Three-tier variants: the same controllers over the DRAM + NVM +
+	// CXL-expander topology (see cxlTiers).
+	DesignBaryonCXL = "Baryon-CXL"
+	DesignUnisonCXL = "UnisonCache-CXL"
+	DesignDICECXL   = "DICE-CXL"
 )
+
+// cxlTiers is the canonical DRAM+NVM+CXL topology the three-tier built-ins
+// share: the lower 8 MB of the canonical far space stays on NVM and the
+// remainder spills to a CXL-attached DRAM expander behind a flit link. The
+// window is deliberately smaller than the workloads' footprints (tens of MB
+// at the scaled config) so both far tiers see real traffic. Each call
+// returns a fresh slice so one design's overrides can never alias
+// another's.
+func cxlTiers() *[]config.TierConfig {
+	return config.Ptr([]config.TierConfig{
+		{Preset: "ddr4"},
+		{Preset: "nvm", Bytes: 8 << 20},
+		{Preset: "cxl-dram"},
+	})
+}
 
 // Controller kinds a DesignSpec can name. A kind selects the controller
 // implementation; everything else about a design is configuration.
@@ -86,6 +106,9 @@ var builtinSpecs = []DesignSpec{
 	}},
 	{Name: DesignHybrid2, Kind: KindHybrid2},
 	{Name: DesignOSPaging, Kind: KindOSPaging},
+	{Name: DesignBaryonCXL, Kind: KindBaryon, Overrides: config.Overrides{Tiers: cxlTiers()}},
+	{Name: DesignUnisonCXL, Kind: KindUnison, Overrides: config.Overrides{Tiers: cxlTiers()}},
+	{Name: DesignDICECXL, Kind: KindDICE, Overrides: config.Overrides{Tiers: cxlTiers()}},
 }
 
 var registry = struct {
@@ -210,6 +233,9 @@ func ValidateSpec(spec DesignSpec, cfg config.Config) error {
 	if err := spec.Overrides.Apply(&cfg); err != nil {
 		return fmt.Errorf("experiment: design %q: %w", spec.Name, err)
 	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("experiment: design %q: %w", spec.Name, err)
+	}
 	if spec.Policy.Replacement != "" && spec.Kind != KindSimple && spec.Kind != KindUnison {
 		return fmt.Errorf("experiment: design %q: kind %q has no replacement-policy knob",
 			spec.Name, spec.Kind)
@@ -232,29 +258,45 @@ func FactorySpec(spec DesignSpec) cpu.ControllerFactory {
 		if spec.Policy.Replacement != "" {
 			applyReplacement(spec, ctrl, cfg.Seed)
 		}
-		if cfg.Fault.Enabled() {
-			if ep, ok := ctrl.(hybrid.EngineProvider); ok {
+		if ep, ok := ctrl.(hybrid.EngineProvider); ok {
+			if cfg.Fault.Enabled() {
 				ep.Engine().EnableFaults(cfg.Fault, cfg.Seed)
 			}
+			// CXL expander-side compression estimates over the canonical
+			// store content; on topologies without a CXL tier the probe is
+			// never consulted and the attach is a no-op.
+			ep.Engine().SetContentProbe(func(addr, size uint64) []byte {
+				return store.Line(addr)
+			})
 		}
 		return ctrl
 	}
 }
 
 func buildKind(spec DesignSpec, cfg config.Config, store *hybrid.Store, stats *sim.Stats) hybrid.Controller {
+	// The tier list reaches every kind: Baryon/Hybrid2 resolve it inside
+	// core.New from the config; the other baselines take it directly. An
+	// empty Tiers section yields the canonical two-tier list, whose specs
+	// the baselines' nil-default matches device-for-device — but resolving
+	// it here (rather than passing nil) keeps SlowMemory/DetailedDDR
+	// honoured uniformly across kinds.
+	tiers, err := cfg.TierSpecs()
+	if err != nil {
+		panic("experiment: design " + spec.Name + ": " + err.Error())
+	}
 	switch spec.Kind {
 	case KindSimple:
-		return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats)
+		return baselines.NewSimple(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, tiers)
 	case KindUnison:
-		return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed)
+		return baselines.NewUnison(cfg.FastBytes/hybrid.BlockSize, cfg.Assoc, store, stats, cfg.Seed, tiers)
 	case KindDICE:
-		return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency)
+		return baselines.NewDICE(cfg.FastBytes, store, stats, cfg.DecompressLatency, tiers)
 	case KindBaryon:
 		return core.New(cfg, store, stats)
 	case KindHybrid2:
 		return baselines.NewHybrid2(cfg, store, stats)
 	case KindOSPaging:
-		return baselines.NewOSPaging(cfg.FastBytes, store, stats)
+		return baselines.NewOSPaging(cfg.FastBytes, store, stats, tiers)
 	}
 	panic("experiment: unknown kind " + spec.Kind)
 }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"baryon/internal/config"
 	"baryon/internal/sim"
@@ -104,12 +103,5 @@ func Resilience(cfg config.Config) ([]ResilienceRow, *Table) {
 // run's registry (device names depend on the slow-memory preset, so rows
 // match by suffix rather than hardcoding them).
 func sumFaultCounter(st *sim.Stats, name string) uint64 {
-	var total uint64
-	suffix := ".fault." + name
-	for _, n := range st.Names() {
-		if strings.HasSuffix(n, suffix) {
-			total += st.Get(n)
-		}
-	}
-	return total
+	return sumCounterSuffix(st, ".fault."+name)
 }

@@ -58,6 +58,12 @@ type Config struct {
 	Fast Params `json:"fast,omitempty"`
 	Slow Params `json:"slow,omitempty"`
 
+	// Tiers, when non-empty, replaces Fast/Slow wholesale with per-tier
+	// params indexed by engine tier (0 = fast). Tiers beyond the list get
+	// the zero (disabled) params. A partial merge with Fast/Slow would be
+	// ambiguous, so like Overrides.Fault the list wins outright.
+	Tiers []Params `json:"tiers,omitempty"`
+
 	// ECCCorrectBits is the per-64B-line correction budget: up to this many
 	// flipped bits are corrected (with a retry penalty), more are
 	// uncorrectable and force a line remap. 0 defaults to 1 (SECDED-like).
@@ -77,7 +83,36 @@ type Config struct {
 }
 
 // Enabled reports whether any device has a fault source configured.
-func (c *Config) Enabled() bool { return c.Fast.Enabled() || c.Slow.Enabled() }
+func (c *Config) Enabled() bool {
+	if len(c.Tiers) > 0 {
+		for i := range c.Tiers {
+			if c.Tiers[i].Enabled() {
+				return true
+			}
+		}
+		return false
+	}
+	return c.Fast.Enabled() || c.Slow.Enabled()
+}
+
+// ForTier returns the fault params of engine tier i: Tiers[i] when the
+// per-tier list is set (zero params beyond its length), otherwise the
+// classic Fast/Slow mapping for tiers 0/1 and disabled for the rest.
+func (c *Config) ForTier(i int) Params {
+	if len(c.Tiers) > 0 {
+		if i < len(c.Tiers) {
+			return c.Tiers[i]
+		}
+		return Params{}
+	}
+	switch i {
+	case 0:
+		return c.Fast
+	case 1:
+		return c.Slow
+	}
+	return Params{}
+}
 
 // CorrectBits returns the effective ECC correction budget.
 func (c *Config) CorrectBits() int {

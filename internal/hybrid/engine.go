@@ -1,6 +1,8 @@
 package hybrid
 
 import (
+	"fmt"
+
 	"baryon/internal/compress"
 	"baryon/internal/compress/pipeline"
 	"baryon/internal/fault"
@@ -9,20 +11,62 @@ import (
 	"baryon/internal/sim"
 )
 
+// Tier is one device in the engine's ordered tier list. Tier 0 is the near
+// (fast) tier; tiers 1..n-1 partition the far address space in order: each
+// intermediate far tier owns a window of Bytes() canonical far addresses and
+// the last tier is the catch-all for everything beyond. With exactly two
+// tiers the far space maps to tier 1 unchanged, which is what keeps the
+// historical two-tier behaviour bit-identical.
+type Tier struct {
+	name  string
+	dev   *mem.Device
+	bytes uint64 // far-window capacity; 0 on tier 0 and on the catch-all
+	base  uint64 // first canonical far address this tier owns (tiers >= 1)
+
+	// lat observes demand-read latency for tiers beyond the classic two
+	// ("lat.tier<i>", registered by InstrumentLatency only when the engine
+	// has more than two tiers).
+	lat *sim.Histogram
+}
+
+// Name returns the tier's device name.
+func (t *Tier) Name() string { return t.name }
+
+// Device returns the tier's memory device.
+func (t *Tier) Device() *mem.Device { return t.dev }
+
+// Bytes returns the tier's far-window capacity (0 = catch-all or near tier).
+func (t *Tier) Bytes() uint64 { return t.bytes }
+
+// TierSpec describes one tier when building an engine: the device config
+// plus, for intermediate far tiers, the capacity window it serves. Bytes is
+// ignored on tier 0 and on the last tier (the catch-all).
+type TierSpec struct {
+	Cfg   mem.Config
+	Bytes uint64
+}
+
 // Engine is the shared migration/writeback engine of the controller kit: it
-// owns the two memory devices of the hybrid system and issues all fast/slow
-// traffic on behalf of a controller, with the instrumentation middleware —
-// the per-design "lat.fastHit"/"lat.slowPath" read-latency histograms, the
-// writeback counter and the request-lifecycle tracer hooks — attached once
-// here instead of being re-implemented by every controller.
+// owns the ordered memory-tier list of the hybrid system and issues all
+// device traffic on behalf of a controller, with the instrumentation
+// middleware — the per-design "lat.fastHit"/"lat.slowPath" read-latency
+// histograms, the writeback counter and the request-lifecycle tracer hooks —
+// attached once here instead of being re-implemented by every controller.
+//
+// Controllers address the far space canonically; the engine routes each far
+// access to the owning tier and rebases it into that device's local address
+// space. Fast()/Slow() and the *Fast/*Slow traffic methods are the two-tier
+// API every controller was written against: they alias tiers 0 and 1 (with
+// far routing underneath), so a controller needs no changes to run on a
+// three-tier topology.
 //
 // Demand reads go through FastRead/SlowRead (critical path, returns the
 // completion cycle); fills, writebacks and migrations go through the
 // background methods, which model traffic that drains into idle bus cycles
 // (see mem.Device.AccessBackground).
 type Engine struct {
-	fast, slow *mem.Device
-	stats      *sim.Stats
+	tiers []*Tier
+	stats *sim.Stats
 
 	latFast, latSlow *sim.Histogram
 	writebacks       *sim.Counter
@@ -41,18 +85,90 @@ type Engine struct {
 	arena *pipeline.Arena
 }
 
-// NewEngine builds the engine and its two devices, registering device
-// counters on stats (fast first, then slow, matching every controller's
-// historical registration order).
+// NewEngine builds a classic two-tier engine, registering device counters on
+// stats (fast first, then slow, matching every controller's historical
+// registration order). It is NewEngineTiers with a two-entry list.
 func NewEngine(fastCfg, slowCfg mem.Config, stats *sim.Stats) *Engine {
-	return &Engine{
-		fast:  mem.NewDevice(fastCfg, stats),
-		slow:  mem.NewDevice(slowCfg, stats),
-		stats: stats,
-	}
+	return NewEngineTiers([]TierSpec{{Cfg: fastCfg}, {Cfg: slowCfg}}, stats)
 }
 
-// EnableFaults attaches seeded fault injectors to the devices that have a
+// DefaultTierSpecs returns the classic Table I two-tier topology (DDR4 over
+// NVM) every baseline historically hard-coded.
+func DefaultTierSpecs() []TierSpec {
+	return []TierSpec{{Cfg: mem.DDR4Config()}, {Cfg: mem.NVMConfig()}}
+}
+
+// NewEngineFrom builds the engine over tiers, falling back to
+// DefaultTierSpecs for an empty list — the constructor baselines use so a
+// nil tier argument keeps their historical devices.
+func NewEngineFrom(tiers []TierSpec, stats *sim.Stats) *Engine {
+	if len(tiers) == 0 {
+		tiers = DefaultTierSpecs()
+	}
+	return NewEngineTiers(tiers, stats)
+}
+
+// NewEngineTiers builds the engine over an ordered tier list. Devices are
+// constructed (and their counters registered) in tier order. At least two
+// tiers are required; intermediate far tiers (1..n-2) must declare a Bytes
+// window. Both are programming errors at this layer — config.TierSpecs
+// validates user input before it gets here.
+func NewEngineTiers(specs []TierSpec, stats *sim.Stats) *Engine {
+	if len(specs) < 2 {
+		panic(fmt.Sprintf("hybrid: engine needs at least 2 tiers, got %d", len(specs)))
+	}
+	e := &Engine{stats: stats, tiers: make([]*Tier, 0, len(specs))}
+	var base uint64
+	for i, spec := range specs {
+		t := &Tier{
+			name:  spec.Cfg.Name,
+			dev:   mem.NewDevice(spec.Cfg, stats),
+			bytes: spec.Bytes,
+		}
+		if i >= 1 {
+			t.base = base
+			if i < len(specs)-1 {
+				if spec.Bytes == 0 {
+					panic(fmt.Sprintf("hybrid: intermediate far tier %d (%s) needs a Bytes window", i, t.name))
+				}
+				base += spec.Bytes
+			}
+		}
+		e.tiers = append(e.tiers, t)
+	}
+	return e
+}
+
+// Tiers returns the ordered tier list.
+func (e *Engine) Tiers() []*Tier { return e.tiers }
+
+// farFor routes a canonical far address to its owning tier and the
+// device-local address. With two tiers this is the identity onto tier 1.
+func (e *Engine) farFor(addr uint64) (*Tier, uint64) {
+	last := len(e.tiers) - 1
+	for _, t := range e.tiers[1:last] {
+		if addr < t.base+t.bytes {
+			return t, addr - t.base
+		}
+	}
+	t := e.tiers[last]
+	return t, addr - t.base
+}
+
+// tierFaultSalt keeps each tier's fault stream independent. Tiers 0 and 1
+// keep their historical salts (part of the determinism contract pinned by
+// the fault goldens); higher tiers get fixed derived constants.
+func tierFaultSalt(i int) uint64 {
+	switch i {
+	case 0:
+		return 0xFA57FA57
+	case 1:
+		return 0x510A510A
+	}
+	return 0x71E20000 + uint64(i)
+}
+
+// EnableFaults attaches seeded fault injectors to the tiers that have a
 // fault source configured and arms the engine's degradation path: demand
 // reads whose ECC outcome is Corrected are retried once (injection
 // suppressed) with a timing penalty; Uncorrectable reads quarantine the
@@ -67,17 +183,16 @@ func (e *Engine) EnableFaults(fc fault.Config, seed uint64) {
 	e.faultsOn = true
 	e.retryPenalty = fc.RetryPenaltyCycles()
 	e.remapPenalty = fc.RemapPenaltyCycles()
-	e.latRetry = make(map[*mem.Device]*sim.Histogram, 2)
-	attach := func(d *mem.Device, p fault.Params, salt uint64) {
+	e.latRetry = make(map[*mem.Device]*sim.Histogram, len(e.tiers))
+	for i, t := range e.tiers {
+		p := fc.ForTier(i)
 		if !p.Enabled() {
-			return
+			continue
 		}
-		scope := e.stats.Scope(d.Config().Name)
-		d.SetFaults(fault.NewInjector(p, fc.CorrectBits(), seed^fc.Seed^salt, scope))
-		e.latRetry[d] = scope.Histogram("fault.lat.retry")
+		scope := e.stats.Scope(t.dev.Config().Name)
+		t.dev.SetFaults(fault.NewInjector(p, fc.CorrectBits(), seed^fc.Seed^tierFaultSalt(i), scope))
+		e.latRetry[t.dev] = scope.Histogram("fault.lat.retry")
 	}
-	attach(e.fast, fc.Fast, 0xFA57FA57)
-	attach(e.slow, fc.Slow, 0x510A510A)
 }
 
 // FaultsEnabled reports whether the degradation path is armed.
@@ -94,6 +209,24 @@ func (e *Engine) InitCompression(comp *compress.Compressor, workers int) *pipeli
 
 // CompressArena returns the arena attached by InitCompression, or nil.
 func (e *Engine) CompressArena() *pipeline.Arena { return e.arena }
+
+// SetContentProbe attaches a content probe, addressed canonically, to every
+// tier device: each tier's probe re-adds its base so a CXL expander's
+// compression estimator sees the bytes actually stored at the canonical
+// address it serves. Only CXL devices consult the probe; on the rest the
+// attach is a no-op. Nil detaches.
+func (e *Engine) SetContentProbe(fn func(addr, size uint64) []byte) {
+	for _, t := range e.tiers {
+		if fn == nil {
+			t.dev.SetContentProbe(nil)
+			continue
+		}
+		base := t.base
+		t.dev.SetContentProbe(func(addr, size uint64) []byte {
+			return fn(addr+base, size)
+		})
+	}
+}
 
 // demandRead issues one demand read and applies the ECC degradation path to
 // its outcome.
@@ -128,11 +261,19 @@ func (e *Engine) demandRead(d *mem.Device, issue, addr, size uint64) uint64 {
 
 // InstrumentLatency registers the kit's read-latency histograms under the
 // controller's scope: "lat.fastHit" for reads served by the fast tier and
-// "lat.slowPath" for reads that went to slow memory. The histograms are
-// returned for controllers that observe them directly.
+// "lat.slowPath" for reads that went to the far tiers. Engines with more
+// than two tiers additionally register a per-tier "lat.tier<i>" breakdown
+// for tiers 2..n-1 (two-tier engines register exactly the historical pair).
+// The classic histograms are returned for controllers that observe them
+// directly.
 func (e *Engine) InstrumentLatency(scope *sim.Stats) (latFast, latSlow *sim.Histogram) {
 	e.latFast = scope.Histogram("lat.fastHit")
 	e.latSlow = scope.Histogram("lat.slowPath")
+	for i, t := range e.tiers {
+		if i >= 2 {
+			t.lat = scope.Histogram(fmt.Sprintf("lat.tier%d", i))
+		}
+	}
 	return e.latFast, e.latSlow
 }
 
@@ -141,18 +282,21 @@ func (e *Engine) InstrumentLatency(scope *sim.Stats) (latFast, latSlow *sim.Hist
 // counter order is design-controlled).
 func (e *Engine) CountWritebacks(c *sim.Counter) { e.writebacks = c }
 
-// Fast returns the fast-memory device.
-func (e *Engine) Fast() *mem.Device { return e.fast }
+// Fast returns the near-tier (tier 0) device.
+func (e *Engine) Fast() *mem.Device { return e.tiers[0].dev }
 
-// Slow returns the slow-memory device.
-func (e *Engine) Slow() *mem.Device { return e.slow }
+// Slow returns the first far-tier (tier 1) device. Far traffic methods
+// route by address and may hit later tiers; Slow is the device handle for
+// code that reports on the classic slow tier.
+func (e *Engine) Slow() *mem.Device { return e.tiers[1].dev }
 
-// SetTracer attaches a request-lifecycle tracer to the engine and both
-// devices. Nil detaches.
+// SetTracer attaches a request-lifecycle tracer to the engine and every
+// tier device. Nil detaches.
 func (e *Engine) SetTracer(t *obs.Tracer) {
 	e.tracer = t
-	e.fast.SetTracer(t)
-	e.slow.SetTracer(t)
+	for _, tier := range e.tiers {
+		tier.dev.SetTracer(t)
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is off).
@@ -169,7 +313,7 @@ func (e *Engine) Decision(now uint64, cat string) {
 // LatFast records the end-to-end latency of a read served by the fast tier.
 func (e *Engine) LatFast(now, done uint64) { e.latFast.Observe(done - now) }
 
-// LatSlow records the end-to-end latency of a read served by the slow tier.
+// LatSlow records the end-to-end latency of a read served by the far path.
 func (e *Engine) LatSlow(now, done uint64) { e.latSlow.Observe(done - now) }
 
 // ObserveFast records a fast-tier read: latency histogram plus the decision
@@ -179,7 +323,7 @@ func (e *Engine) ObserveFast(now, done uint64, cat string) {
 	e.Decision(now, cat)
 }
 
-// ObserveSlow records a slow-tier read.
+// ObserveSlow records a far-path read.
 func (e *Engine) ObserveSlow(now, done uint64, cat string) {
 	e.latSlow.Observe(done - now)
 	e.Decision(now, cat)
@@ -187,41 +331,50 @@ func (e *Engine) ObserveSlow(now, done uint64, cat string) {
 
 // FastRead is a demand read from fast memory issued at cycle issue.
 func (e *Engine) FastRead(issue, addr, size uint64) uint64 {
-	return e.demandRead(e.fast, issue, addr, size)
+	return e.demandRead(e.tiers[0].dev, issue, addr, size)
 }
 
-// SlowRead is a demand read from slow memory issued at cycle issue.
+// SlowRead is a demand read from the far path issued at cycle issue: the
+// canonical address routes to its owning tier.
 func (e *Engine) SlowRead(issue, addr, size uint64) uint64 {
-	return e.demandRead(e.slow, issue, addr, size)
+	t, local := e.farFor(addr)
+	done := e.demandRead(t.dev, issue, local, size)
+	if t.lat != nil {
+		t.lat.Observe(done - issue)
+	}
+	return done
 }
 
 // FillFast writes size bytes into fast memory in the background (fills,
 // commits, posted write hits).
 func (e *Engine) FillFast(now, addr, size uint64) uint64 {
-	return e.fast.AccessBackground(now, addr, size, true)
+	return e.tiers[0].dev.AccessBackground(now, addr, size, true)
 }
 
 // ReadFastBG reads fast memory off the critical path (stage reads during
 // commits, probe traffic).
 func (e *Engine) ReadFastBG(now, addr, size uint64) uint64 {
-	return e.fast.AccessBackground(now, addr, size, false)
+	return e.tiers[0].dev.AccessBackground(now, addr, size, false)
 }
 
-// FetchSlow reads size bytes from slow memory in the background (block and
+// FetchSlow reads size bytes from the far path in the background (block and
 // range fills).
 func (e *Engine) FetchSlow(now, addr, size uint64) uint64 {
-	return e.slow.AccessBackground(now, addr, size, false)
+	t, local := e.farFor(addr)
+	return t.dev.AccessBackground(now, local, size, false)
 }
 
-// WriteSlowBG writes slow memory in the background without counting a
+// WriteSlowBG writes the far path in the background without counting a
 // writeback (posted demand writes, partial-line updates).
 func (e *Engine) WriteSlowBG(now, addr, size uint64) uint64 {
-	return e.slow.AccessBackground(now, addr, size, true)
+	t, local := e.farFor(addr)
+	return t.dev.AccessBackground(now, local, size, true)
 }
 
-// Writeback writes a dirty victim's bytes to slow memory in the background
+// Writeback writes a dirty victim's bytes to the far path in the background
 // and counts one writeback (the per-design "writebacks" counter).
 func (e *Engine) Writeback(now, addr, size uint64) uint64 {
 	e.writebacks.Inc()
-	return e.slow.AccessBackground(now, addr, size, true)
+	t, local := e.farFor(addr)
+	return t.dev.AccessBackground(now, local, size, true)
 }

@@ -40,6 +40,13 @@ type Config struct {
 	// model with the protocol-level DDR engine (JEDEC bank-state machine
 	// with refresh); background traffic keeps the queue model.
 	DetailedTiming *DDRTimings
+
+	// CXL, when it describes any link behaviour (CXLParams.Enabled), puts
+	// the device behind a CXL-expander link: every access pays the serdes
+	// latency and serialises on the link/internal-bandwidth frontier. Nil
+	// or zero-valued params leave the device bit-identical to one without
+	// the model.
+	CXL *CXLParams
 }
 
 // DDR4DetailedConfig returns the Table I fast memory driven by the
@@ -130,6 +137,10 @@ type Device struct {
 	// degradation path. Nil (the default) keeps the hot path fault-free.
 	faults    *fault.Injector
 	lastFault fault.Class
+
+	// link, when non-nil, is the CXL-expander front end every access goes
+	// through (see cxl.go). Nil keeps the direct-attached hot path.
+	link *cxlLink
 }
 
 // Counters exposes the device's typed metric handles so run harnesses can
@@ -170,7 +181,24 @@ func NewDevice(cfg Config, stats *sim.Stats) *Device {
 	// end-to-end device service latency, per demand access.
 	d.queueHist = s.Histogram("lat.queue")
 	d.svcHist = s.Histogram("lat.service")
+	if cfg.CXL.Enabled() {
+		d.link = newCXLLink(*cfg.CXL, s)
+	}
 	return d
+}
+
+// HasCXL reports whether the device sits behind a CXL-expander link.
+func (d *Device) HasCXL() bool { return d.link != nil }
+
+// SetContentProbe attaches a function that returns the current bytes at a
+// device address, used by expander-side compression to estimate the
+// compressed size crossing the internal path. Only CXL devices with a
+// Compression mode consult it; without a probe the internal path carries
+// uncompressed bytes. Nil detaches.
+func (d *Device) SetContentProbe(fn func(addr, size uint64) []byte) {
+	if d.link != nil {
+		d.link.probe = fn
+	}
 }
 
 // SetTracer attaches a request-lifecycle tracer; device service spans are
@@ -232,6 +260,30 @@ func (d *Device) Access(now uint64, addr uint64, size uint64, write bool) uint64
 	if size == 0 {
 		return now
 	}
+	if d.link != nil {
+		return d.accessCXL(now, addr, size, write)
+	}
+	return d.accessStriped(now, addr, size, write)
+}
+
+// accessCXL wraps one demand access in the expander link: the transfer is
+// admitted FIFO onto the link frontier, the media sees the request one flit
+// latency after it clears the link, and reads pay the return flit on top of
+// the media completion. Writes are posted at the expander.
+func (d *Device) accessCXL(now uint64, addr uint64, size uint64, write bool) uint64 {
+	clear := uint64(d.link.admit(now, addr, size))
+	issue := clear + d.link.p.LinkLatencyCycles
+	d.link.queueHist.Observe(issue - now)
+	done := d.accessStriped(issue, addr, size, write)
+	if !write {
+		done += d.link.p.LinkLatencyCycles
+	}
+	return done
+}
+
+// accessStriped performs the media-side access, striping transfers larger
+// than the channel-interleave granularity.
+func (d *Device) accessStriped(now uint64, addr uint64, size uint64, write bool) uint64 {
 	const interleave = 256
 	if size > interleave {
 		var done uint64
@@ -258,6 +310,13 @@ func (d *Device) Access(now uint64, addr uint64, size uint64, write bool) uint64
 func (d *Device) AccessBackground(now uint64, addr uint64, size uint64, write bool) uint64 {
 	if size == 0 {
 		return now
+	}
+	nominal := now
+	if d.link != nil {
+		// Background traffic crosses the same link: it occupies the shared
+		// frontier (delaying later demand accesses) and its nominal
+		// completion shifts by the queueing + flit latency.
+		nominal = uint64(d.link.admit(now, addr, size)) + d.link.p.LinkLatencyCycles
 	}
 	// Account bytes/energy/op counts identically to demand traffic.
 	const interleave = 256
@@ -290,7 +349,7 @@ func (d *Device) AccessBackground(now uint64, addr uint64, size uint64, write bo
 			}
 		}
 	}
-	return now + d.cfg.RowMissLatency + uint64(float64(size)/d.cfg.BytesPerCycle)
+	return nominal + d.cfg.RowMissLatency + uint64(float64(size)/d.cfg.BytesPerCycle)
 }
 
 // drain moves queued background bytes into the idle bus time up to now.
@@ -418,6 +477,9 @@ func (d *Device) Reset() {
 	d.maxQueueing = 0
 	d.dbgChan, d.dbgBank, d.dbgSpill = 0, 0, 0
 	d.lastFault = fault.None
+	if d.link != nil {
+		d.link.freeAt = 0
+	}
 }
 
 // accessDetailed serves one demand access through the protocol engine,

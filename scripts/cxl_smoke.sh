@@ -1,0 +1,36 @@
+#!/bin/sh
+# Three-tier smoke test: the two shipped DRAM+NVM+CXL design files must run
+# end to end through `cmd/baryonsim -design-file`, produce a per-tier traffic
+# breakdown with real expander traffic, and the run must be deterministic
+# (two invocations byte-identical). `make cxl-smoke` and CI run this; the
+# in-process coverage lives in internal/experiment's tier golden tests, so
+# this script is the end-to-end check of the command path itself.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/baryonsim" ./cmd/baryonsim
+
+for spec in internal/experiment/testdata/design_cxl_baryon.json \
+    internal/experiment/testdata/design_cxl_unison.json; do
+    name=$(basename "$spec" .json)
+    "$tmp/baryonsim" -design-file "$spec" -accesses 1000 -json \
+        >"$tmp/$name.json"
+    for key in '"tiers"' '"tierBytes"' 'CXL'; do
+        if ! grep -q "$key" "$tmp/$name.json"; then
+            echo "FAIL: $spec output missing $key" >&2
+            cat "$tmp/$name.json" >&2
+            exit 1
+        fi
+    done
+    # Determinism: a second run must be byte-identical.
+    "$tmp/baryonsim" -design-file "$spec" -accesses 1000 -json \
+        >"$tmp/$name.rerun.json"
+    if ! cmp -s "$tmp/$name.json" "$tmp/$name.rerun.json"; then
+        echo "FAIL: $spec runs are not deterministic" >&2
+        exit 1
+    fi
+done
+
+echo "cxl-smoke OK: $(ls "$tmp"/*.json | grep -cv rerun) design files ran with tier breakdowns"
