@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke check
+.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -71,4 +71,16 @@ cancel-smoke:
 cxl-smoke:
 	sh scripts/cxl_smoke.sh
 
-check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke
+# End-to-end observability check: scrape /metrics from a live run and lint it
+# with the in-repo OpenMetrics validator, then lint the -metrics-out file.
+# Loopback only, so it passes offline (see scripts/metrics_smoke.sh).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
+# End-to-end regression-gate check: two identical runs produce byte-identical
+# bundles, cmd/runreport self-diffs clean, and a tampered counter makes it
+# exit non-zero (see scripts/report_smoke.sh).
+report-smoke:
+	sh scripts/report_smoke.sh
+
+check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke

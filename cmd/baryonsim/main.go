@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"baryon/internal/cpu"
 	"baryon/internal/experiment"
 	"baryon/internal/obs"
+	"baryon/internal/report"
 	"baryon/internal/trace"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	epoch := flag.Int("epoch", 0, "collect an epoch snapshot every N accesses (0 = off)")
 	epochCSV := flag.String("epoch-csv", "", "write the epoch time-series as CSV to this file (- for stdout)")
 	epochJSONL := flag.String("epoch-jsonl", "", "write the epoch time-series as JSONL to this file (- for stdout)")
+	metricsOut := flag.String("metrics-out", "", "write the run's final OpenMetrics exposition to this file (- for stdout)")
+	bundleOut := flag.String("bundle-out", "", "write the deterministic run-report bundle (see cmd/runreport) to this file (- for stdout)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceOut := flag.String("trace-out", "", "write sampled request lifecycles as Chrome trace_event JSON to this file (enables tracing)")
 	traceSample := flag.Uint64("trace-sample", 64, "with -trace-out, sample 1 in N requests (1 = every request)")
@@ -90,6 +94,10 @@ func main() {
 	}
 	if (*epochCSV != "" || *epochJSONL != "") && *epoch == 0 {
 		fmt.Fprintln(os.Stderr, "-epoch-csv/-epoch-jsonl require -epoch > 0")
+		os.Exit(2)
+	}
+	if *metricsOut == "-" && *bundleOut == "-" {
+		fmt.Fprintln(os.Stderr, "-metrics-out and -bundle-out cannot both write to stdout")
 		os.Exit(2)
 	}
 	if *traceSample == 0 {
@@ -213,6 +221,31 @@ func main() {
 	}
 	writeEpochs(res, *epochCSV, experiment.WriteEpochCSV)
 	writeEpochs(res, *epochJSONL, experiment.WriteEpochJSONL)
+	if *metricsOut != "" {
+		if err := writeMetricsOut(*metricsOut, res, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *bundleOut != "" {
+		if runErr != nil {
+			// A partial run's counters are interleaving-dependent; a bundle of
+			// them would defeat the determinism contract.
+			fmt.Fprintln(os.Stderr, "-bundle-out: skipping bundle for a partial run")
+		} else if err := writeBundleOut(*bundleOut, *design, cfg, res); err != nil {
+			fmt.Fprintf(os.Stderr, "writing bundle: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut == "-" || *bundleOut == "-" {
+		// stdout is carrying a machine-readable export; skip the run report
+		// so the stream stays parseable (pipe straight into cmd/omlint or
+		// cmd/runreport).
+		if runErr != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		out := map[string]any{
 			"workload":      res.Workload,
@@ -302,6 +335,57 @@ func main() {
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// writeMetricsOut renders the run's measurement-window registry delta as
+// OpenMetrics text ("-" = stdout), labelled with the run identity — the
+// end-of-run counterpart of the live /metrics endpoint.
+func writeMetricsOut(path string, res cpu.Result, cfg config.Config) error {
+	snap := res.Stats.Delta(res.MeasureStart)
+	opts := obs.OMOptions{Labels: []obs.OMLabel{
+		{Key: "design", Value: res.Design},
+		{Key: "workload", Value: res.Workload},
+		{Key: "seed", Value: strconv.FormatUint(cfg.Seed, 10)},
+	}}
+	if path == "-" {
+		return obs.WriteOpenMetrics(os.Stdout, snap, opts)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteOpenMetrics(f, snap, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeBundleOut writes the run's deterministic report bundle ("-" =
+// stdout): the canonical spec key plus the full measurement-window metric
+// state, in the byte-stable shape cmd/runreport diffs.
+func writeBundleOut(path, design string, cfg config.Config, res cpu.Result) error {
+	spec, ok := experiment.Lookup(design)
+	if !ok {
+		return fmt.Errorf("design %q not registered", design)
+	}
+	key, err := report.Key(spec, cfg, res.Workload)
+	if err != nil {
+		return err
+	}
+	b, err := report.New(key, res)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		data, err := b.MarshalCanonical()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return report.WriteFile(path, b)
 }
 
 // writeTrace dumps the tracer's ring buffer as Chrome trace_event JSON

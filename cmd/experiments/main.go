@@ -25,6 +25,7 @@ import (
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
+	"baryon/internal/report"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry remaining experiments are cancelled and the exit status is non-zero")
+	bundleDir := flag.String("bundle-dir", "", "write one deterministic report bundle per successful run into this directory (diff with cmd/runreport)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -48,6 +50,14 @@ func main() {
 	experiment.SetRunContext(ctx)
 
 	experiment.SetParallelism(*parallel)
+
+	if *bundleDir != "" {
+		if err := report.ObservePairs(*bundleDir, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "bundle dir: %v\n", err)
+			os.Exit(2)
+		}
+		defer experiment.SetPairObserver(nil)
+	}
 
 	cfg := config.Scaled()
 	cfg.Seed = *seed

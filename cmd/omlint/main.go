@@ -1,0 +1,87 @@
+// Command omlint validates an OpenMetrics text exposition — a file, stdin,
+// or a live /metrics endpoint — against the subset of the format this
+// repository emits: name/label syntax, TYPE-before-samples, family
+// contiguity, histogram bucket monotonicity and the mandatory # EOF
+// terminator. It is the scrape-side check of `make metrics-smoke`, kept
+// in-repo so CI needs no external Prometheus tooling.
+//
+//	go run ./cmd/omlint run.metrics.txt
+//	go run ./cmd/omlint -url http://127.0.0.1:8080/metrics
+//	baryonsim -metrics-out /dev/stdout | go run ./cmd/omlint
+//
+// Exit status: 0 valid, 1 invalid, 2 usage or fetch error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"baryon/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("omlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "fetch the exposition from this URL instead of a file")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch timeout for -url")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: omlint [-url URL] [file]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		in   io.Reader
+		name string
+	)
+	switch {
+	case *url != "":
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			fmt.Fprintf(stderr, "omlint: %v\n", err)
+			return 2
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "omlint: %s: HTTP %s\n", *url, resp.Status)
+			return 2
+		}
+		in, name = resp.Body, *url
+	case fs.NArg() == 1 && fs.Arg(0) != "-":
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "omlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	case fs.NArg() == 0 || fs.Arg(0) == "-":
+		in, name = stdin, "<stdin>"
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	if err := obs.LintOpenMetrics(in); err != nil {
+		fmt.Fprintf(stderr, "omlint: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "omlint: %s: OK\n", name)
+	return 0
+}

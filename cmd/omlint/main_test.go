@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validDoc = "# TYPE a counter\na_total 1\n# EOF\n"
+
+func runLint(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestOmlintFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.metrics.txt")
+	if err := os.WriteFile(path, []byte(validDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, errw := runLint(t, "", path); code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("valid file: exit %d\nstdout: %s\nstderr: %s", code, out, errw)
+	}
+	// An invalid document (no # EOF) is a lint failure, not a usage error.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("a_total 1\n"), 0o644)
+	if code, _, errw := runLint(t, "", bad); code != 1 {
+		t.Fatalf("invalid file: exit %d, want 1\nstderr: %s", code, errw)
+	}
+}
+
+func TestOmlintStdin(t *testing.T) {
+	// Both no-args and the conventional "-" read stdin.
+	for _, args := range [][]string{nil, {"-"}} {
+		if code, out, errw := runLint(t, validDoc, args...); code != 0 || !strings.Contains(out, "<stdin>") {
+			t.Fatalf("args %v: exit %d\nstdout: %s\nstderr: %s", args, code, out, errw)
+		}
+	}
+}
+
+func TestOmlintURL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(validDoc))
+	}))
+	defer srv.Close()
+	if code, out, errw := runLint(t, "", "-url", srv.URL); code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("url scrape: exit %d\nstdout: %s\nstderr: %s", code, out, errw)
+	}
+	srv.Close()
+	// A dead endpoint is a fetch error: exit 2, distinct from lint failures.
+	if code, _, _ := runLint(t, "", "-url", srv.URL); code != 2 {
+		t.Fatal("dead endpoint should exit 2")
+	}
+}
+
+func TestOmlintUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t, "", "a", "b"); code != 2 {
+		t.Fatal("two file args should exit 2")
+	}
+	if code, _, _ := runLint(t, "", "-url", "http://x", "file"); code != 2 {
+		t.Fatal("-url with a file arg should exit 2")
+	}
+	if code, _, _ := runLint(t, "", "/nonexistent/path"); code != 2 {
+		t.Fatal("unreadable file should exit 2")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
+	"baryon/internal/report"
 	"baryon/internal/trace"
 )
 
@@ -52,6 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	seeds := fs.String("seeds", "1", "comma-separated seeds (rows per seed)")
 	parallel := fs.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the sweep flushes completed rows and exits non-zero")
+	bundleDir := fs.String("bundle-dir", "", "write one deterministic report bundle per successful run into this directory (diff with cmd/runreport)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,6 +65,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	experiment.SetParallelism(*parallel)
+
+	if *bundleDir != "" {
+		if err := report.ObservePairs(*bundleDir, stderr); err != nil {
+			fmt.Fprintf(stderr, "bundle dir: %v\n", err)
+			return 2
+		}
+		defer experiment.SetPairObserver(nil)
+	}
 
 	cfg := config.Scaled()
 	if *accesses > 0 {

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"baryon/internal/report"
 )
 
 // writeSpec writes a JSON DesignSpec with a unique name to dir and returns
@@ -109,6 +111,49 @@ func TestSweepGracefulCancellation(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "cancelled") {
 		t.Fatalf("stderr missing cancellation summary:\n%s", errb.String())
+	}
+}
+
+// TestSweepBundleDir checks -bundle-dir: every ok run writes one re-readable
+// bundle, and a failed run writes none.
+func TestSweepBundleDir(t *testing.T) {
+	spec := writePoisonedSpec(t, t.TempDir(), "Poisoned-SweepBundle")
+	dir := filepath.Join(t.TempDir(), "bundles")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-workloads", "505.mcf_r",
+		"-designs", "Simple,Baryon",
+		"-design-files", spec,
+		"-accesses", "500",
+		"-seeds", "1,2",
+		"-bundle-dir", dir,
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatal("sweep with a poisoned design exited 0")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 healthy designs x 2 seeds; the poisoned pairs write nothing.
+	if len(entries) != 4 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("expected 4 bundles, found %d: %v", len(entries), names)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".bundle.json") {
+			t.Fatalf("unexpected file %q in bundle dir", e.Name())
+		}
+		b, err := report.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Spec.Workload != "505.mcf_r" || b.Cycles == 0 {
+			t.Fatalf("bundle %s incomplete: %+v", e.Name(), b.Spec)
+		}
 	}
 }
 

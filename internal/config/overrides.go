@@ -51,6 +51,14 @@ type Overrides struct {
 	SlowMemory    *string  `json:"slowMemory,omitempty"`
 	DetailedDDR   *bool    `json:"detailedDDR,omitempty"`
 
+	// Run shape. Designs rarely pin these; they exist so a run's full
+	// configuration delta — including the access budget and window layout —
+	// can be expressed as one Overrides value (the canonical spec key of
+	// run-report bundles, internal/report).
+	AccessesPerCore       *int `json:"accessesPerCore,omitempty"`
+	WarmupAccessesPerCore *int `json:"warmupAccessesPerCore,omitempty"`
+	EpochAccesses         *int `json:"epochAccesses,omitempty"`
+
 	// Tiers replaces the run's device topology wholesale (like Fault, a
 	// partial merge of an ordered list would be ambiguous).
 	Tiers *[]TierConfig `json:"tiers,omitempty"`
@@ -106,6 +114,9 @@ func (o *Overrides) Apply(c *Config) error {
 	setIf(&c.NoLLCPrefetch, o.NoLLCPrefetch)
 	setIf(&c.SlowMemory, o.SlowMemory)
 	setIf(&c.DetailedDDR, o.DetailedDDR)
+	setIf(&c.AccessesPerCore, o.AccessesPerCore)
+	setIf(&c.WarmupAccessesPerCore, o.WarmupAccessesPerCore)
+	setIf(&c.EpochAccesses, o.EpochAccesses)
 	setIf(&c.Tiers, o.Tiers)
 	setIf(&c.Fault, o.Fault)
 	return nil

@@ -55,6 +55,12 @@ type Window struct {
 	// fully described by FastBytes/SlowBytes and stays byte-identical. When
 	// set, SlowBytes covers every far tier combined.
 	TierBytes []uint64 `json:"tierBytes,omitempty"`
+	// CXLLinkBytes/CXLInternalBytes split the window's CXL-expander traffic
+	// into host-link bytes (always uncompressed) and expander-internal
+	// bytes (compressed when expander-side compression is on), summed over
+	// every CXL tier. Zero on topologies without a CXL device.
+	CXLLinkBytes     uint64 `json:"cxlLinkBytes,omitempty"`
+	CXLInternalBytes uint64 `json:"cxlInternalBytes,omitempty"`
 	// EnergyPJ is the window's memory-system access energy.
 	EnergyPJ float64 `json:"energyPJ"`
 	// MemLat digests the window's whole-plane demand completion-latency
@@ -104,7 +110,7 @@ type Result struct {
 	// first); populated only for topologies beyond the classic two tiers.
 	TierNames []string
 	TierBytes []uint64
-	Stats                *sim.Stats
+	Stats     *sim.Stats
 	// MeanRangeCF is the mean quantised compression factor of staged
 	// ranges (Fig. 12); nonzero only for controllers that track it.
 	MeanRangeCF float64
@@ -122,6 +128,13 @@ type Result struct {
 	// histogram registered on the run (keyed by fully-qualified registry
 	// name, e.g. "hierarchy.lat.demand"); empty histograms are omitted.
 	Latency map[string]sim.HistSummary
+	// MeasureStart is the registry snapshot taken at the measurement-window
+	// boundary (after warmup, before the first measured access). Export
+	// layers delta the live Stats against it to recover the full
+	// measurement-window counter map: Stats.Delta(MeasureStart). With
+	// warmup disabled the snapshot is effectively empty, so the delta
+	// equals the cumulative registry.
+	MeasureStart sim.Snapshot
 }
 
 // IPC returns retired instructions per cycle.
@@ -361,6 +374,10 @@ type runState struct {
 	instructions uint64
 	cycles       uint64 // max finish watermark
 	phase        string // "warmup" or "measure", for live introspection
+	// warmBase, when set, is the registry snapshot at the warmup boundary:
+	// published statuses in the measure phase expose the delta against it,
+	// so /metrics scrapes stay window-correct across the boundary.
+	warmBase *sim.Snapshot
 }
 
 // runWindow replays perCore accesses on every core, continuing from the
@@ -462,6 +479,7 @@ func (r *Runner) publishStatus(st *runState) {
 	rs := &obs.RunStatus{
 		Workload:       r.src.SourceName(),
 		Design:         r.ctrl.Name(),
+		Seed:           r.cfg.Seed,
 		TargetAccesses: uint64(r.cfg.Cores) * uint64(r.cfg.WarmupAccessesPerCore+r.cfg.AccessesPerCore),
 		Accesses:       st.accesses,
 		Instructions:   st.instructions,
@@ -471,6 +489,13 @@ func (r *Runner) publishStatus(st *runState) {
 		UpdatedAt:      time.Now(),
 	}
 	obs.StatusFromStats(r.stats, rs)
+	// The published snapshot is window-correct: raw registry values during
+	// warmup, deltas since the warmup boundary once measurement starts.
+	if st.phase == "measure" && st.warmBase != nil {
+		rs.Snap = r.stats.Delta(*st.warmBase)
+	} else {
+		rs.Snap = r.stats.Snapshot()
+	}
 	r.intro.Publish(rs)
 }
 
@@ -516,18 +541,27 @@ func (r *Runner) windowSince(m mark, st *runState) Window {
 		w.BloatFactor = sim.Ratio(w.FastBytes, useful)
 	}
 	if ep, ok := r.ctrl.(hybrid.EngineProvider); ok {
-		if tiers := ep.Engine().Tiers(); len(tiers) > 2 {
+		tiers := ep.Engine().Tiers()
+		if len(tiers) > 2 {
 			// Beyond two tiers the fast/slow pair under-reports: break
 			// traffic down per tier and fold every far tier (and its
 			// energy) into the far-side aggregates.
 			w.TierBytes = make([]uint64, len(tiers))
-			for i, t := range tiers {
-				tc := t.Device().Counters()
+		}
+		for i, t := range tiers {
+			tc := t.Device().Counters()
+			if w.TierBytes != nil {
 				w.TierBytes[i] = m.snap.DeltaOf(tc.BytesRead) + m.snap.DeltaOf(tc.BytesWritten)
 				if i >= 2 {
 					w.SlowBytes += w.TierBytes[i]
 					w.EnergyPJ += m.snap.DeltaOfFloat(tc.EnergyPJ)
 				}
+			}
+			// The link/internal split exists at any tier count — a two-tier
+			// topology can already put its far tier behind a CXL link.
+			if tc.CXLLinkBytes != nil {
+				w.CXLLinkBytes += m.snap.DeltaOf(tc.CXLLinkBytes)
+				w.CXLInternalBytes += m.snap.DeltaOf(tc.CXLInternalBytes)
 			}
 		}
 	}
@@ -599,6 +633,7 @@ func (r *Runner) RunCtx(ctx context.Context) (Result, error) {
 	warmup := r.windowSince(start, st)
 	warm := r.mark(st)
 	st.phase = "measure"
+	st.warmBase = &warm.snap
 
 	var epochs []Epoch
 	epochStart := warm
@@ -634,6 +669,7 @@ func (r *Runner) RunCtx(ctx context.Context) (Result, error) {
 		Warmup:        warmup,
 		Measured:      measured,
 		Epochs:        epochs,
+		MeasureStart:  warm.snap,
 	}
 	if ep, ok := r.ctrl.(hybrid.EngineProvider); ok {
 		if tiers := ep.Engine().Tiers(); len(tiers) > 2 {

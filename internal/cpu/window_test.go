@@ -1,6 +1,7 @@
 package cpu_test
 
 import (
+	"strings"
 	"testing"
 
 	"baryon/internal/cpu"
@@ -114,6 +115,47 @@ func TestRunnerEpochSeries(t *testing.T) {
 	// Epoch windows delta device traffic too.
 	if res.Epochs[0].FastBytes == 0 || res.Epochs[0].EnergyPJ <= 0 {
 		t.Error("first epoch has no device traffic")
+	}
+}
+
+// TestRunnerMeasureStartDelta pins the export-layer contract of
+// Result.MeasureStart: deltaing the live registry against it recovers the
+// measurement-window counter map, consistent with the Measured window and
+// the headline metrics (the recipe report bundles and -metrics-out use).
+func TestRunnerMeasureStartDelta(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WarmupAccessesPerCore = 500
+	w, _ := trace.ByName("505.mcf_r")
+	res := cpu.NewRunner(cfg, w, baryonFactory).Run()
+
+	d := res.Stats.Delta(res.MeasureStart)
+	if got := d.Get("hierarchy.demandLines"); got != res.Measured.Accesses {
+		t.Errorf("delta demandLines = %d, want measured accesses %d", got, res.Measured.Accesses)
+	}
+	// Total registry value = warmup + measured, so the delta must be the
+	// strictly smaller measurement share.
+	if total := res.Stats.Get("hierarchy.demandLines"); d.Get("hierarchy.demandLines") >= total {
+		t.Errorf("delta %d not smaller than run total %d despite warmup", d.Get("hierarchy.demandLines"), total)
+	}
+	// Summed per-device traffic deltas equal the headline traffic.
+	var devBytes uint64
+	for _, name := range d.CounterNames() {
+		if strings.HasSuffix(name, ".bytesRead") || strings.HasSuffix(name, ".bytesWritten") {
+			devBytes += d.Get(name)
+		}
+	}
+	if want := res.FastBytes + res.SlowBytes; devBytes != want {
+		t.Errorf("delta device traffic %d != headline traffic %d", devBytes, want)
+	}
+
+	// With warmup off, MeasureStart is the empty pre-run snapshot and the
+	// delta equals the cumulative registry.
+	cold := cpu.NewRunner(smallConfig(), w, baryonFactory).Run()
+	cd := cold.Stats.Delta(cold.MeasureStart)
+	for _, name := range cd.CounterNames() {
+		if cd.Get(name) != cold.Stats.Get(name) {
+			t.Errorf("cold-start delta %s = %d, want cumulative %d", name, cd.Get(name), cold.Stats.Get(name))
+		}
 	}
 }
 

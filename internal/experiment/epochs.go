@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"baryon/internal/cpu"
 	"baryon/internal/sim"
@@ -15,23 +17,41 @@ import (
 
 // WriteEpochCSV writes the epoch series of res as CSV with a header row.
 // EndAccesses is cumulative within the measurement window; all other columns
-// are per-epoch deltas.
+// are per-epoch deltas. The tierBytes column carries the per-tier traffic
+// breakdown of N-tier runs as a ";"-joined cell (empty on classic two-tier
+// runs, matching the sweep CSV); cxlLinkBytes/cxlInternalBytes split the
+// epoch's CXL-expander traffic (zero without a CXL tier).
 func WriteEpochCSV(w io.Writer, res cpu.Result) error {
 	if _, err := fmt.Fprintln(w,
-		"epoch,endAccesses,accesses,instructions,cycles,ipc,fastServeRate,bloatFactor,fastBytes,slowBytes,energyPJ,memLatP50,memLatP99,memLatMax"); err != nil {
+		"epoch,endAccesses,accesses,instructions,cycles,ipc,fastServeRate,bloatFactor,fastBytes,slowBytes,tierBytes,cxlLinkBytes,cxlInternalBytes,energyPJ,memLatP50,memLatP99,memLatMax"); err != nil {
 		return err
 	}
 	for _, e := range res.Epochs {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%d,%d,%.1f,%.1f,%.1f,%d\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%d,%d,%s,%d,%d,%.1f,%.1f,%.1f,%d\n",
 			e.Index, e.EndAccesses, e.Accesses, e.Instructions, e.Cycles,
 			e.IPC(), e.FastServeRate, e.BloatFactor,
-			e.FastBytes, e.SlowBytes, e.EnergyPJ,
+			e.FastBytes, e.SlowBytes,
+			tierBytesField(e.TierBytes), e.CXLLinkBytes, e.CXLInternalBytes,
+			e.EnergyPJ,
 			e.MemLat.P50, e.MemLat.P99, e.MemLat.Max)
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// tierBytesField renders a per-tier byte breakdown as the ";"-joined cell
+// shared by the sweep CSV and the epoch CSV (empty for two-tier runs).
+func tierBytesField(b []uint64) string {
+	if len(b) == 0 {
+		return ""
+	}
+	parts := make([]string, len(b))
+	for i, v := range b {
+		parts[i] = strconv.FormatUint(v, 10)
+	}
+	return strings.Join(parts, ";")
 }
 
 // epochRecord is the JSONL shape of one epoch, stamped with the run's
@@ -49,7 +69,13 @@ type epochRecord struct {
 	BloatFactor   float64 `json:"bloatFactor"`
 	FastBytes     uint64  `json:"fastBytes"`
 	SlowBytes     uint64  `json:"slowBytes"`
-	EnergyPJ      float64 `json:"energyPJ"`
+	// TierBytes is the per-tier traffic breakdown of N-tier runs (omitted
+	// on two-tier runs); the CXL fields split expander traffic into
+	// host-link and expander-internal bytes (omitted without a CXL tier).
+	TierBytes        []uint64 `json:"tierBytes,omitempty"`
+	CXLLinkBytes     uint64   `json:"cxlLinkBytes,omitempty"`
+	CXLInternalBytes uint64   `json:"cxlInternalBytes,omitempty"`
+	EnergyPJ         float64  `json:"energyPJ"`
 	// MemLat is the epoch's whole-plane demand-latency summary.
 	MemLat sim.HistSummary `json:"memLat"`
 }
@@ -60,20 +86,23 @@ func WriteEpochJSONL(w io.Writer, res cpu.Result) error {
 	enc := json.NewEncoder(w)
 	for _, e := range res.Epochs {
 		rec := epochRecord{
-			Workload:      res.Workload,
-			Design:        res.Design,
-			Epoch:         e.Index,
-			EndAccesses:   e.EndAccesses,
-			Accesses:      e.Accesses,
-			Instructions:  e.Instructions,
-			Cycles:        e.Cycles,
-			IPC:           e.IPC(),
-			FastServeRate: e.FastServeRate,
-			BloatFactor:   e.BloatFactor,
-			FastBytes:     e.FastBytes,
-			SlowBytes:     e.SlowBytes,
-			EnergyPJ:      e.EnergyPJ,
-			MemLat:        e.MemLat,
+			Workload:         res.Workload,
+			Design:           res.Design,
+			Epoch:            e.Index,
+			EndAccesses:      e.EndAccesses,
+			Accesses:         e.Accesses,
+			Instructions:     e.Instructions,
+			Cycles:           e.Cycles,
+			IPC:              e.IPC(),
+			FastServeRate:    e.FastServeRate,
+			BloatFactor:      e.BloatFactor,
+			FastBytes:        e.FastBytes,
+			SlowBytes:        e.SlowBytes,
+			TierBytes:        e.TierBytes,
+			CXLLinkBytes:     e.CXLLinkBytes,
+			CXLInternalBytes: e.CXLInternalBytes,
+			EnergyPJ:         e.EnergyPJ,
+			MemLat:           e.MemLat,
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

@@ -146,6 +146,31 @@ func forEachCtx(ctx context.Context, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// pairObserver holds the hook installed by SetPairObserver, boxed for
+// atomic.Value's consistent-concrete-type requirement.
+type observerBox struct{ fn func(Pair, PairResult) }
+
+var pairObserver atomic.Value
+
+func init() { pairObserver.Store(observerBox{}) }
+
+// SetPairObserver installs a hook that receives every successfully completed
+// pair as it finishes, before the batch returns — the seam export layers
+// (e.g. per-run report bundles) use to see each cpu.Result while its Stats
+// registry is still reachable, without every harness growing an export
+// parameter. The hook runs on worker goroutines, possibly concurrently, and
+// must be goroutine-safe; failed pairs are not observed. nil uninstalls.
+func SetPairObserver(fn func(Pair, PairResult)) {
+	pairObserver.Store(observerBox{fn})
+}
+
+// observePair invokes the installed observer for a completed job.
+func observePair(p Pair, pr PairResult) {
+	if box := pairObserver.Load().(observerBox); box.fn != nil && pr.Err == nil {
+		box.fn(p, pr)
+	}
+}
+
 // Pair is one independent simulation job: a full configuration (so sweeps
 // can mutate per-job copies), a workload and a design name.
 type Pair struct {
@@ -189,6 +214,7 @@ func RunPairsCtx(ctx context.Context, pairs []Pair) []PairResult {
 	forEachCtx(ctx, len(pairs), func(i int) {
 		ran[i] = true
 		out[i] = runPairIsolated(ctx, pairs[i])
+		observePair(pairs[i], out[i])
 	})
 	for i := range out {
 		if !ran[i] {

@@ -153,6 +153,9 @@ type Counters struct {
 	ReadLatCycles *sim.Counter
 	// EnergyPJ accumulates access energy in picojoules.
 	EnergyPJ *sim.FloatAccum
+	// CXLLinkBytes/CXLInternalBytes are the expander's host-link and
+	// internal-path traffic counters; nil on devices without a CXL link.
+	CXLLinkBytes, CXLInternalBytes *sim.Counter
 }
 
 // NewDevice builds a device from cfg, registering its counters in stats
@@ -236,12 +239,16 @@ func (d *Device) AccessClean(now uint64, addr uint64, size uint64, write bool) u
 
 // Counters returns the device's typed metric handles.
 func (d *Device) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Reads: d.reads, Writes: d.writes,
 		BytesRead: d.bytesRead, BytesWritten: d.bytesWritten,
 		RowHits: d.rowHits, RowMisses: d.rowMisses,
 		ReadLatCycles: d.readLat, EnergyPJ: d.energy,
 	}
+	if d.link != nil {
+		c.CXLLinkBytes, c.CXLInternalBytes = d.link.linkBytes, d.link.internalBytes
+	}
+	return c
 }
 
 // Config returns the device configuration.

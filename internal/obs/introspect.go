@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ type NamedHist struct {
 type RunStatus struct {
 	Workload       string       `json:"workload"`
 	Design         string       `json:"design"`
+	Seed           uint64       `json:"seed"`
 	TargetAccesses uint64       `json:"targetAccesses"`
 	Accesses       uint64       `json:"accesses"`
 	Instructions   uint64       `json:"instructions"`
@@ -42,6 +44,12 @@ type RunStatus struct {
 	Hists          []NamedHist  `json:"hists"`
 	Phase          string       `json:"phase"` // "warmup" or "measure"
 	UpdatedAt      time.Time    `json:"updatedAt"`
+	// Snap is the full registry snapshot behind the summaries above, the
+	// input /metrics renders with complete histogram buckets. During the
+	// measurement phase it is the delta since the warmup boundary, so
+	// scrapes never conflate warmup transients with measured metrics.
+	// Excluded from JSON: expvar/runz consumers read the digests above.
+	Snap sim.Snapshot `json:"-"`
 }
 
 // Introspector publishes RunStatus snapshots from the run goroutine and
@@ -73,15 +81,30 @@ func StatusFromStats(st *sim.Stats, dst *RunStatus) {
 	}
 }
 
-var expvarOnce sync.Once
+// expvarIntro is the Introspector behind the process-wide "baryon.run"
+// expvar. expvar.Publish is once-per-process (republishing panics), so the
+// published Func reads this atomic pointer instead of closing over one
+// Introspector: every NewDebugMux call swaps in its own Introspector, and
+// /debug/vars always serves the newest run. Before the fix, "baryon.run"
+// was bound to the first Introspector ever passed to NewDebugMux and later
+// muxes in the same process served a stale run forever.
+var (
+	expvarOnce  sync.Once
+	expvarIntro atomic.Pointer[Introspector]
+)
 
 // NewDebugMux builds the -debug-addr HTTP handler: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars (including the latest published
-// run status as "baryon.run"), and a human-readable /runz status page.
+// run status as "baryon.run"), the OpenMetrics exposition under /metrics,
+// and a human-readable /runz status page.
 func NewDebugMux(in *Introspector) *http.ServeMux {
+	expvarIntro.Store(in)
 	expvarOnce.Do(func() {
 		expvar.Publish("baryon.run", expvar.Func(func() any {
-			return in.Latest()
+			if cur := expvarIntro.Load(); cur != nil {
+				return cur.Latest()
+			}
+			return nil
 		}))
 	})
 	mux := http.NewServeMux()
@@ -91,6 +114,9 @@ func NewDebugMux(in *Introspector) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, in.Latest())
+	})
 	mux.HandleFunc("/runz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeRunz(w, in.Latest())
@@ -103,10 +129,36 @@ func NewDebugMux(in *Introspector) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "baryonsim debug listener")
 		fmt.Fprintln(w, "  /runz         run status")
+		fmt.Fprintln(w, "  /metrics      OpenMetrics exposition")
 		fmt.Fprintln(w, "  /debug/vars   expvar (includes baryon.run)")
 		fmt.Fprintln(w, "  /debug/pprof/ profiling")
 	})
 	return mux
+}
+
+// omContentType is the OpenMetrics media type /metrics responds with.
+const omContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// writeMetrics renders the latest published snapshot as OpenMetrics. Before
+// the first publish it serves an empty (but valid) exposition, so scrapers
+// that race the run's first progress tick see a clean document rather than
+// an error.
+func writeMetrics(w http.ResponseWriter, st *RunStatus) {
+	w.Header().Set("Content-Type", omContentType)
+	if st == nil {
+		fmt.Fprintln(w, "# EOF")
+		return
+	}
+	opts := OMOptions{Labels: []OMLabel{
+		{Key: "design", Value: st.Design},
+		{Key: "workload", Value: st.Workload},
+		{Key: "seed", Value: strconv.FormatUint(st.Seed, 10)},
+	}}
+	if err := WriteOpenMetrics(w, st.Snap, opts); err != nil {
+		// The exposition is already partially written; nothing better to do
+		// than note it (broken pipe from an impatient scraper, usually).
+		fmt.Fprintf(w, "# rendering error: %v\n", err)
+	}
 }
 
 func writeRunz(w http.ResponseWriter, st *RunStatus) {

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tolerance bounds how far two bundles may drift before a difference counts
+// as a finding. Zero tolerances demand exact equality — the right setting
+// for same-commit determinism checks; regression gates across commits
+// usually allow a small relative slack.
+type Tolerance struct {
+	// CounterRel is the allowed relative change of integer metrics
+	// (counters, cycle/instruction totals, histogram counts).
+	CounterRel float64
+	// PctRel is the allowed relative change of float metrics (rates,
+	// energy, histogram percentiles and means).
+	PctRel float64
+}
+
+// Finding is one out-of-tolerance difference between two bundles.
+type Finding struct {
+	// Kind classifies the metric: "headline", "counter", "float", "hist" or
+	// "spec" (identity mismatch, e.g. comparing different designs).
+	Kind string `json:"kind"`
+	// Key names the metric ("counter hierarchy.llcMisses", "hist
+	// hierarchy.lat.demand p99", ...).
+	Key string `json:"key"`
+	// A and B are the two sides' values (A is the baseline).
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	// Rel is the relative change |B-A| / max(|A|,|B|), 1 when one side is
+	// zero and the other is not.
+	Rel float64 `json:"rel"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%-8s %-40s %g -> %g (%+.2f%%)", f.Kind, f.Key, f.A, f.B, 100*relSigned(f.A, f.B))
+}
+
+// Report is the outcome of diffing two bundles.
+type Report struct {
+	PairID    string    `json:"pairId"`
+	HashA     string    `json:"hashA,omitempty"`
+	HashB     string    `json:"hashB,omitempty"`
+	SpecMatch bool      `json:"specMatch"`
+	Findings  []Finding `json:"findings,omitempty"`
+}
+
+// Clean reports whether the diff found no out-of-tolerance differences.
+func (r Report) Clean() bool { return len(r.Findings) == 0 }
+
+// rel returns the symmetric relative difference of a and b: 0 when equal,
+// |b-a| / max(|a|,|b|) otherwise (so a zero-vs-nonzero change is 1).
+func rel(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / den
+}
+
+// relSigned is rel with the sign of the change (for display only).
+func relSigned(a, b float64) float64 {
+	r := rel(a, b)
+	if b < a {
+		return -r
+	}
+	return r
+}
+
+// Diff compares two bundles and reports every metric whose relative change
+// exceeds the tolerance. Metrics present on only one side diff against zero.
+// A spec-hash mismatch is recorded (SpecMatch=false) but is not itself a
+// finding: diffing deliberately different runs — two commits, two designs —
+// is the tool's main use.
+func Diff(a, b Bundle, tol Tolerance) Report {
+	r := Report{
+		PairID:    a.PairID(),
+		HashA:     a.SpecHash,
+		HashB:     b.SpecHash,
+		SpecMatch: a.SpecHash == b.SpecHash,
+	}
+	add := func(kind, key string, va, vb, allowed float64) {
+		if d := rel(va, vb); d > allowed {
+			r.Findings = append(r.Findings, Finding{Kind: kind, Key: key, A: va, B: vb, Rel: d})
+		}
+	}
+
+	add("headline", "cycles", float64(a.Cycles), float64(b.Cycles), tol.CounterRel)
+	add("headline", "instructions", float64(a.Instructions), float64(b.Instructions), tol.CounterRel)
+	add("headline", "ipc", a.IPC, b.IPC, tol.PctRel)
+	add("headline", "fastServeRate", a.FastServeRate, b.FastServeRate, tol.PctRel)
+	add("headline", "bloatFactor", a.BloatFactor, b.BloatFactor, tol.PctRel)
+	add("headline", "energyPJ", a.EnergyPJ, b.EnergyPJ, tol.PctRel)
+	add("headline", "fastBytes", float64(a.FastBytes), float64(b.FastBytes), tol.CounterRel)
+	add("headline", "slowBytes", float64(a.SlowBytes), float64(b.SlowBytes), tol.CounterRel)
+	add("headline", "cxlLinkBytes", float64(a.CXLLinkBytes), float64(b.CXLLinkBytes), tol.CounterRel)
+	add("headline", "cxlInternalBytes", float64(a.CXLInternalBytes), float64(b.CXLInternalBytes), tol.CounterRel)
+
+	tiersA, tiersB := tierMap(a.Tiers), tierMap(b.Tiers)
+	for _, name := range unionKeys(tiersA, tiersB) {
+		add("headline", "tier "+name, float64(tiersA[name]), float64(tiersB[name]), tol.CounterRel)
+	}
+
+	for _, name := range unionKeys(a.Counters, b.Counters) {
+		add("counter", name, float64(a.Counters[name]), float64(b.Counters[name]), tol.CounterRel)
+	}
+	for _, name := range unionKeys(a.Floats, b.Floats) {
+		add("float", name, a.Floats[name], b.Floats[name], tol.PctRel)
+	}
+	for _, name := range unionKeys(a.Hists, b.Hists) {
+		ha, hb := a.Hists[name], b.Hists[name]
+		add("hist", name+" count", float64(ha.Count), float64(hb.Count), tol.CounterRel)
+		add("hist", name+" mean", ha.Mean, hb.Mean, tol.PctRel)
+		add("hist", name+" p50", ha.P50, hb.P50, tol.PctRel)
+		add("hist", name+" p90", ha.P90, hb.P90, tol.PctRel)
+		add("hist", name+" p99", ha.P99, hb.P99, tol.PctRel)
+		add("hist", name+" p99.9", ha.P999, hb.P999, tol.PctRel)
+		add("hist", name+" max", float64(ha.Max), float64(hb.Max), tol.PctRel)
+	}
+	return r
+}
+
+func tierMap(ts []TierTraffic) map[string]uint64 {
+	if len(ts) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(ts))
+	for _, t := range ts {
+		m[t.Name] = t.Bytes
+	}
+	return m
+}
+
+// unionKeys returns the sorted union of both maps' keys, so findings come
+// out in a deterministic order regardless of which side a metric lives on.
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := make(map[string]struct{}, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	for k := range b {
+		if _, ok := seen[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"baryon/internal/experiment"
+)
+
+// ObservePairs installs an experiment pair observer (see
+// experiment.SetPairObserver) that writes one bundle per successful run into
+// dir, named by FileName. Distinct pairs write distinct files, so the
+// observer is safe under the experiment worker pool without locking; bundle
+// build or write failures are reported to errw and do not affect the runs
+// themselves. Callers uninstall with experiment.SetPairObserver(nil) when
+// the batch is done.
+func ObservePairs(dir string, errw io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	experiment.SetPairObserver(func(p experiment.Pair, pr experiment.PairResult) {
+		spec, ok := experiment.Lookup(p.Design)
+		if !ok {
+			fmt.Fprintf(errw, "report: design %q not registered, no bundle written\n", p.Design)
+			return
+		}
+		key, err := Key(spec, p.Cfg, p.Workload.Name)
+		if err != nil {
+			fmt.Fprintf(errw, "report: %v\n", err)
+			return
+		}
+		b, err := New(key, pr.Result)
+		if err != nil {
+			fmt.Fprintf(errw, "report: %v\n", err)
+			return
+		}
+		if err := WriteFile(filepath.Join(dir, FileName(key)), b); err != nil {
+			fmt.Fprintf(errw, "report: %v\n", err)
+		}
+	})
+	return nil
+}

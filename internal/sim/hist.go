@@ -167,6 +167,35 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return float64(h.max)
 }
 
+// CumBucket is one cumulative histogram bucket in export order: Cum
+// observations had a value <= Le. This is the Prometheus/OpenMetrics bucket
+// shape; Le is the inclusive integer upper bound of the underlying
+// log-linear bucket.
+type CumBucket struct {
+	Le  uint64
+	Cum uint64
+}
+
+// CumBuckets converts the histogram's bucket array to cumulative
+// Prometheus-style buckets, appending to dst and returning it. Only buckets
+// that actually hold observations are emitted (the cumulative sequence is
+// unchanged by omitting empty buckets); the final entry's Cum always equals
+// Count, so renderers can close the sequence with a +Inf bucket. The
+// sequence is monotone in both Le and Cum by construction.
+func (h *Histogram) CumBuckets(dst []CumBucket) []CumBucket {
+	var cum uint64
+	for i := range h.buckets {
+		n := h.buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := histBucketBounds(i)
+		dst = append(dst, CumBucket{Le: hi - 1, Cum: cum})
+	}
+	return dst
+}
+
 // HistSummary is the exported fixed-percentile digest of one histogram, the
 // shape that flows into Result, experiment tables and epoch series.
 type HistSummary struct {

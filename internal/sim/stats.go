@@ -318,6 +318,26 @@ func (sn Snapshot) Hist(name string) (Histogram, bool) {
 	return h, ok
 }
 
+// CounterNames returns every counter name in the snapshot, sorted. Snapshots
+// drop the registry's registration order, so sorted names are the snapshot's
+// deterministic iteration order — the one exporters rely on.
+func (sn Snapshot) CounterNames() []string { return sortedKeys(sn.counters) }
+
+// FloatNames returns every float-accumulator name in the snapshot, sorted.
+func (sn Snapshot) FloatNames() []string { return sortedKeys(sn.floats) }
+
+// HistNames returns every histogram name in the snapshot, sorted.
+func (sn Snapshot) HistNames() []string { return sortedKeys(sn.hists) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Ratio returns num/den as a float, or 0 when den is zero.
 func Ratio(num, den uint64) float64 {
 	if den == 0 {

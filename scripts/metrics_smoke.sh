@@ -1,0 +1,61 @@
+#!/bin/sh
+# Metrics smoke test: scrape /metrics from a live baryonsim run and lint the
+# exposition with the in-repo validator (cmd/omlint), then check the
+# end-of-run -metrics-out file the same way. Everything runs against
+# 127.0.0.1 — no external network — so the smoke passes offline.
+# `make metrics-smoke` and CI run this; the renderer and linter themselves
+# are covered in-process by internal/obs's tests, so this script is the
+# end-to-end check of the serving path.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/baryonsim" ./cmd/baryonsim
+go build -o "$tmp/omlint" ./cmd/omlint
+
+# A run long enough that the scrape lands mid-flight on any machine.
+"$tmp/baryonsim" -workload 505.mcf_r -design Baryon \
+    -accesses 5000000 -warmup 1000 -debug-addr 127.0.0.1:0 \
+    >"$tmp/run.out" 2>"$tmp/run.err" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+# The listener address is announced on stderr as
+# "debug listener on http://HOST:PORT/runz".
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^debug listener on http://\(.*\)/runz$|\1|p' "$tmp/run.err")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: baryonsim never announced its debug listener" >&2
+    cat "$tmp/run.err" >&2
+    exit 1
+fi
+
+# Live scrape mid-run must pass the OpenMetrics linter.
+if ! "$tmp/omlint" -url "http://$addr/metrics"; then
+    echo "FAIL: live /metrics exposition is not valid OpenMetrics" >&2
+    exit 1
+fi
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+
+# End-of-run export: -metrics-out writes the measurement-window snapshot,
+# which must lint clean too and carry the run labels.
+"$tmp/baryonsim" -workload 505.mcf_r -design Baryon \
+    -accesses 2000 -warmup 500 -metrics-out "$tmp/run.metrics.txt" >/dev/null
+"$tmp/omlint" "$tmp/run.metrics.txt"
+for want in 'design="Baryon"' 'workload="505.mcf_r"' '# EOF'; do
+    if ! grep -q "$want" "$tmp/run.metrics.txt"; then
+        echo "FAIL: -metrics-out output missing $want" >&2
+        cat "$tmp/run.metrics.txt" >&2
+        exit 1
+    fi
+done
+
+echo "metrics-smoke OK: live scrape on $addr and -metrics-out both lint clean"

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Run-report smoke test: the determinism and regression-detection contract of
+# the bundle pipeline, end to end through the built commands. Two identical
+# runs must produce byte-identical bundles, cmd/runreport must accept the
+# pair as clean (exit 0), and a tampered counter must make it exit non-zero.
+# `make report-smoke` and CI run this; the same contract is covered
+# in-process by internal/report's and cmd/runreport's tests.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/baryonsim" ./cmd/baryonsim
+go build -o "$tmp/runreport" ./cmd/runreport
+
+run_bundle() {
+    "$tmp/baryonsim" -workload 505.mcf_r -design Baryon \
+        -accesses 5000 -warmup 1000 -bundle-out "$1" >/dev/null
+}
+
+run_bundle "$tmp/a.bundle.json"
+run_bundle "$tmp/b.bundle.json"
+
+if ! cmp -s "$tmp/a.bundle.json" "$tmp/b.bundle.json"; then
+    echo "FAIL: identical runs produced different bundle bytes" >&2
+    diff "$tmp/a.bundle.json" "$tmp/b.bundle.json" >&2 || true
+    exit 1
+fi
+
+if ! "$tmp/runreport" "$tmp/a.bundle.json" "$tmp/b.bundle.json" >"$tmp/clean.out"; then
+    echo "FAIL: runreport flagged two identical runs" >&2
+    cat "$tmp/clean.out" >&2
+    exit 1
+fi
+
+# Inject a regression: rewrite the headline cycle count and expect a
+# non-zero exit naming the metric.
+sed 's/"cycles": [0-9]*/"cycles": 1/' "$tmp/b.bundle.json" >"$tmp/tampered.bundle.json"
+status=0
+"$tmp/runreport" "$tmp/a.bundle.json" "$tmp/tampered.bundle.json" \
+    >"$tmp/diff.out" || status=$?
+if [ "$status" -eq 0 ]; then
+    echo "FAIL: runreport exited 0 on a tampered bundle" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+fi
+if ! grep -q "cycles" "$tmp/diff.out"; then
+    echo "FAIL: runreport did not attribute the regression to cycles" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+fi
+
+echo "report-smoke OK: bundles byte-identical, self-diff clean, tamper caught (exit $status)"
