@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke check
+.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -83,4 +83,11 @@ metrics-smoke:
 report-smoke:
 	sh scripts/report_smoke.sh
 
-check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke
+# End-to-end job-server check: baryonsimd serves a repeated submission from
+# the result cache byte-identically, drains cleanly on SIGTERM, reloads its
+# store cold after a restart, and holds >=50% hit rate under a mixed load
+# (see scripts/serve_smoke.sh).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke

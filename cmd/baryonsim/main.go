@@ -19,13 +19,13 @@ import (
 	"sort"
 	"strconv"
 	"syscall"
-	"time"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
 	"baryon/internal/experiment"
 	"baryon/internal/obs"
 	"baryon/internal/report"
+	"baryon/internal/service"
 	"baryon/internal/trace"
 )
 
@@ -35,7 +35,6 @@ func main() {
 	traceFile := flag.String("trace-file", "", "replay a recorded trace file (see cmd/tracegen -replay)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	design := flag.String("design", "Baryon", "design name (built-in or loaded via -design-file)")
-	designFile := flag.String("design-file", "", "JSON DesignSpec file defining a custom design (runs it unless -design overrides)")
 	mode := flag.String("mode", "cache", "cache|flat")
 	accesses := flag.Int("accesses", 0, "accesses per core (0 = config default)")
 	warmup := flag.Int("warmup", 0, "warmup accesses per core before measurement (0 = cold start)")
@@ -48,10 +47,12 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write sampled request lifecycles as Chrome trace_event JSON to this file (enables tracing)")
 	traceSample := flag.Uint64("trace-sample", 64, "with -trace-out, sample 1 in N requests (1 = every request)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /runz live run status on this address (e.g. localhost:6060)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the run stops and exits non-zero")
 	stallTimeout := flag.Duration("stall-timeout", 0, "abort if the run makes no progress for this long (0 = off)")
 	verbose := flag.Bool("v", false, "dump every raw counter")
 	list := flag.Bool("list", false, "list workloads and exit")
+	common := service.RegisterFlags(flag.CommandLine,
+		service.FlagTimeout|service.FlagDesignFile,
+		"wall-clock budget for the run (0 = none); on expiry the run stops and exits non-zero")
 	flag.Parse()
 
 	if *list {
@@ -62,19 +63,25 @@ func main() {
 		return
 	}
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	// The shared service-layer lifecycle: -timeout deadline and -design-file
+	// registration.
+	ctx, cleanup, err := common.Setup(ctx, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer cleanup()
+
 	// A custom design from -design-file joins the registry before any name
 	// validation; unless -design was set explicitly, it is also the design
 	// that runs.
-	if *designFile != "" {
-		spec, err := experiment.LoadSpecFile(*designFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "loading design file: %v\n", err)
-			os.Exit(2)
-		}
+	if len(common.Specs) > 0 {
 		designSet := false
 		flag.Visit(func(f *flag.Flag) { designSet = designSet || f.Name == "design" })
 		if !designSet {
-			*design = spec.Name
+			*design = common.Specs[0].Name
 		}
 	}
 
@@ -141,27 +148,23 @@ func main() {
 		}
 	}
 
-	var r *cpu.Runner
+	var src trace.Source
 	if *traceFile != "" {
 		rep, err := trace.LoadReplayFile(*traceFile, *traceFile, w.Mix)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loading trace: %v\n", err)
 			os.Exit(2)
 		}
-		r = cpu.NewRunnerSource(cfg, rep, experiment.Factory(*design))
-	} else {
-		r = cpu.NewRunner(cfg, w, experiment.Factory(*design))
+		src = rep
 	}
 
 	var tr *obs.Tracer
 	if *traceOut != "" {
 		tr = obs.NewTracer(*traceSample, 0)
-		r.SetTracer(tr)
 	}
 	var in *obs.Introspector
 	if *debugAddr != "" || *stallTimeout > 0 {
 		in = &obs.Introspector{}
-		r.SetIntrospector(in, 0)
 	}
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -177,35 +180,18 @@ func main() {
 		}()
 	}
 
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	if *stallTimeout > 0 {
-		// The watchdog watches the introspector's progress heartbeats and
-		// cancels the run when they freeze: a wedged run dies with a
-		// diagnostic instead of hanging forever.
-		ctx2, cancel := context.WithCancel(ctx)
-		defer cancel()
-		ctx = ctx2
-		wd := obs.NewWatchdog(in, *stallTimeout, func(last *obs.RunStatus) {
-			if last != nil {
-				fmt.Fprintf(os.Stderr, "stall watchdog: no progress for %s (stuck at %d/%d accesses, phase %s, last update %s)\n",
-					*stallTimeout, last.Accesses, last.TargetAccesses, last.Phase,
-					last.UpdatedAt.Format(time.RFC3339))
-			} else {
-				fmt.Fprintf(os.Stderr, "stall watchdog: no progress for %s (no status ever published)\n", *stallTimeout)
-			}
-			cancel()
-		})
-		defer wd.Stop()
-	}
-
-	res, runErr := r.RunCtx(ctx)
-	res.Design = *design
+	// The service layer owns the run lifecycle: validation, stall watchdog,
+	// tracer/introspector attachment, cancellation.
+	res, runErr := service.RunSingle(ctx, service.SingleRun{
+		Cfg:           cfg,
+		Workload:      w,
+		Source:        src,
+		Design:        *design,
+		StallTimeout:  *stallTimeout,
+		Tracer:        tr,
+		Introspector:  in,
+		StallWarnings: os.Stderr,
+	})
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "run stopped early: %v (reporting partial metrics)\n", runErr)
 	}
@@ -365,15 +351,7 @@ func writeMetricsOut(path string, res cpu.Result, cfg config.Config) error {
 // stdout): the canonical spec key plus the full measurement-window metric
 // state, in the byte-stable shape cmd/runreport diffs.
 func writeBundleOut(path, design string, cfg config.Config, res cpu.Result) error {
-	spec, ok := experiment.Lookup(design)
-	if !ok {
-		return fmt.Errorf("design %q not registered", design)
-	}
-	key, err := report.Key(spec, cfg, res.Workload)
-	if err != nil {
-		return err
-	}
-	b, err := report.New(key, res)
+	b, err := service.BundleFor(design, cfg, res)
 	if err != nil {
 		return err
 	}

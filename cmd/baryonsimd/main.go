@@ -1,0 +1,104 @@
+// Command baryonsimd serves simulations as a job service over HTTP/JSON:
+// submit a job, stream its status while it runs, fetch its canonical result
+// bundle. Jobs are content-addressed by their spec hash — re-submitting an
+// identical job is served from the result cache byte-identically without
+// re-simulating, and concurrent identical submissions collapse into one
+// simulation.
+//
+//	go run ./cmd/baryonsimd -addr 127.0.0.1:8080 -cache-dir /var/tmp/baryon
+//	curl -s -X POST http://127.0.0.1:8080/api/v1/run \
+//	    -d '{"design":"Baryon","workload":"505.mcf_r","seed":1,"accesses":20000}'
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503, in-flight
+// jobs finish (bounded by -drain-timeout), then it exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"baryon/internal/config"
+	"baryon/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity in entries")
+	cacheDir := flag.String("cache-dir", "", "persist result bundles to this directory; a restarted daemon re-serves them")
+	accesses := flag.Int("accesses", 0, "base accesses per core for jobs that leave accesses unset (0 = config default)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "wall-clock budget for in-flight jobs after a shutdown signal")
+	common := service.RegisterFlags(flag.CommandLine, service.FlagDesignFiles, "")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Setup registers -design-files specs so clients can run custom designs
+	// by name. No timeout flag: the daemon runs until signalled.
+	_, cleanup, err := common.Setup(ctx, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer cleanup()
+
+	cfg := config.Scaled()
+	if *accesses > 0 {
+		cfg.AccessesPerCore = *accesses
+	}
+	svc, err := service.New(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		BaseConfig:   &cfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The address announcement is a contract: scripts/serve_smoke.sh parses
+	// this exact line to find an ephemeral port.
+	fmt.Fprintf(os.Stderr, "baryonsimd listening on http://%s\n", ln.Addr())
+
+	// Async jobs run on runCtx, not the signal context: a drain lets them
+	// finish and only cancels them if the drain budget expires.
+	runCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+	srv := &http.Server{Handler: service.NewHandler(svc, runCtx)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "baryonsimd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, "baryonsimd: draining (shutdown signal received)")
+	svc.Drain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "baryonsimd: shutdown: %v\n", err)
+	}
+	if err := svc.Wait(dctx); err != nil {
+		cancelRuns()
+		fmt.Fprintln(os.Stderr, "baryonsimd: drain budget expired; cancelling in-flight jobs")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "baryonsimd: drained cleanly")
+}

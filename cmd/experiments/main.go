@@ -25,39 +25,32 @@ import (
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
-	"baryon/internal/report"
+	"baryon/internal/service"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use a reduced access budget per core")
 	only := flag.String("only", "", "run a single experiment: tablei|fig3a|fig3b|fig4|fig9|fig10|fig11|fig12|fig13a-d|energy|assoc|subblock|cpack|remapcache|slowmem|llcprefetch|osvshw|ddrfidelity|taillat|resilience|cxl")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry remaining experiments are cancelled and the exit status is non-zero")
-	bundleDir := flag.String("bundle-dir", "", "write one deterministic report bundle per successful run into this directory (diff with cmd/runreport)")
+	common := service.RegisterFlags(flag.CommandLine,
+		service.FlagTimeout|service.FlagBundleDir|service.FlagParallel,
+		"overall wall-clock budget (0 = none); on expiry remaining experiments are cancelled and the exit status is non-zero")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	// The shared service-layer lifecycle: -timeout deadline, -parallel pool
+	// size, -bundle-dir observer.
+	ctx, cleanup, err := common.Setup(ctx, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	defer cleanup()
 	// The figure harnesses run through the legacy strict entry points;
 	// installing the command's context makes all of them cancellable at the
 	// worker-pool level.
 	experiment.SetRunContext(ctx)
-
-	experiment.SetParallelism(*parallel)
-
-	if *bundleDir != "" {
-		if err := report.ObservePairs(*bundleDir, os.Stderr); err != nil {
-			fmt.Fprintf(os.Stderr, "bundle dir: %v\n", err)
-			os.Exit(2)
-		}
-		defer experiment.SetPairObserver(nil)
-	}
 
 	cfg := config.Scaled()
 	cfg.Seed = *seed

@@ -27,7 +27,7 @@ import (
 
 	"baryon/internal/config"
 	"baryon/internal/experiment"
-	"baryon/internal/report"
+	"baryon/internal/service"
 	"baryon/internal/trace"
 )
 
@@ -45,34 +45,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	designs := fs.String("designs", "Simple,UnisonCache,DICE,Baryon-64B,Baryon",
 		"comma-separated design list")
-	designFiles := fs.String("design-files", "",
-		"comma-separated JSON DesignSpec files; loaded designs are appended to the sweep")
 	workloads := fs.String("workloads", "", "comma-separated workload list (default: all)")
 	mode := fs.String("mode", "cache", "cache|flat")
 	accesses := fs.Int("accesses", 0, "accesses per core (0 = config default)")
 	seeds := fs.String("seeds", "1", "comma-separated seeds (rows per seed)")
-	parallel := fs.Int("parallel", 0, "worker count for concurrent runs (0 = GOMAXPROCS)")
-	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry the sweep flushes completed rows and exits non-zero")
-	bundleDir := fs.String("bundle-dir", "", "write one deterministic report bundle per successful run into this directory (diff with cmd/runreport)")
+	common := service.RegisterFlags(fs,
+		service.FlagTimeout|service.FlagBundleDir|service.FlagDesignFiles|service.FlagParallel,
+		"overall wall-clock budget (0 = none); on expiry the sweep flushes completed rows and exits non-zero")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	// The shared service-layer lifecycle: -timeout deadline, -parallel pool
+	// size, -design-files registration, -bundle-dir observer.
+	ctx, cleanup, err := common.Setup(ctx, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-
-	experiment.SetParallelism(*parallel)
-
-	if *bundleDir != "" {
-		if err := report.ObservePairs(*bundleDir, stderr); err != nil {
-			fmt.Fprintf(stderr, "bundle dir: %v\n", err)
-			return 2
-		}
-		defer experiment.SetPairObserver(nil)
-	}
+	defer cleanup()
 
 	cfg := config.Scaled()
 	if *accesses > 0 {
@@ -107,15 +98,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		ds = append(ds, d)
 	}
-	if *designFiles != "" {
-		for _, path := range strings.Split(*designFiles, ",") {
-			spec, err := experiment.LoadSpecFile(strings.TrimSpace(path))
-			if err != nil {
-				fmt.Fprintf(stderr, "loading design file: %v\n", err)
-				return 2
-			}
-			ds = append(ds, spec.Name)
-		}
+	for _, spec := range common.Specs {
+		ds = append(ds, spec.Name)
 	}
 
 	var seedList []uint64

@@ -338,18 +338,5 @@ func RunOne(cfg config.Config, w trace.Workload, design string) cpu.Result {
 // ctx's error. With a background context the result is bit-identical to
 // RunOne.
 func RunOneCtx(ctx context.Context, cfg config.Config, w trace.Workload, design string) (cpu.Result, error) {
-	spec, ok := Lookup(design)
-	if !ok {
-		return cpu.Result{}, UnknownDesignError(design)
-	}
-	if err := ValidateSpec(spec, cfg); err != nil {
-		return cpu.Result{}, err
-	}
-	if err := ctx.Err(); err != nil {
-		return cpu.Result{}, err
-	}
-	r := cpu.NewRunner(cfg, w, FactorySpec(spec))
-	res, err := r.RunCtx(ctx)
-	res.Design = design
-	return res, err
+	return RunPairCtx(ctx, Pair{Cfg: cfg, Workload: w, Design: design})
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"baryon/internal/config"
 	"baryon/internal/cpu"
+	"baryon/internal/obs"
 	"baryon/internal/trace"
 )
 
@@ -146,29 +148,106 @@ func forEachCtx(ctx context.Context, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// pairObserver holds the hook installed by SetPairObserver, boxed for
-// atomic.Value's consistent-concrete-type requirement.
-type observerBox struct{ fn func(Pair, PairResult) }
+// pairObservers is the registry behind AddPairObserver: every installed
+// observer keyed by handle id, plus a copy-on-write snapshot slice the hot
+// path iterates lock-free. Multiple owners — a CLI's bundle-dir export and a
+// server job running concurrently — each hold their own handle, so removing
+// one never tears down another's hook (the old process-global
+// SetPairObserver atomic.Value made concurrent owners clobber each other).
+var pairObservers struct {
+	sync.Mutex
+	seq  uint64
+	m    map[uint64]func(Pair, PairResult)
+	snap atomic.Value // []func(Pair, PairResult), rebuilt under the mutex
+}
 
-var pairObserver atomic.Value
+func init() {
+	var empty []func(Pair, PairResult)
+	pairObservers.snap.Store(empty)
+}
 
-func init() { pairObserver.Store(observerBox{}) }
+// ObserverHandle identifies one installed pair observer; Remove uninstalls
+// exactly that observer and no other.
+type ObserverHandle struct {
+	id   uint64
+	once sync.Once
+}
 
-// SetPairObserver installs a hook that receives every successfully completed
+// AddPairObserver installs a hook that receives every successfully completed
 // pair as it finishes, before the batch returns — the seam export layers
 // (e.g. per-run report bundles) use to see each cpu.Result while its Stats
 // registry is still reachable, without every harness growing an export
 // parameter. The hook runs on worker goroutines, possibly concurrently, and
-// must be goroutine-safe; failed pairs are not observed. nil uninstalls.
-func SetPairObserver(fn func(Pair, PairResult)) {
-	pairObserver.Store(observerBox{fn})
+// must be goroutine-safe; failed pairs are not observed. Any number of
+// observers can be installed concurrently; each is removed only through its
+// own handle.
+func AddPairObserver(fn func(Pair, PairResult)) *ObserverHandle {
+	if fn == nil {
+		return &ObserverHandle{}
+	}
+	pairObservers.Lock()
+	defer pairObservers.Unlock()
+	if pairObservers.m == nil {
+		pairObservers.m = make(map[uint64]func(Pair, PairResult))
+	}
+	pairObservers.seq++
+	h := &ObserverHandle{id: pairObservers.seq}
+	pairObservers.m[h.id] = fn
+	rebuildObserverSnap()
+	return h
 }
 
-// observePair invokes the installed observer for a completed job.
-func observePair(p Pair, pr PairResult) {
-	if box := pairObserver.Load().(observerBox); box.fn != nil && pr.Err == nil {
-		box.fn(p, pr)
+// Remove uninstalls the observer this handle was returned for. Safe to call
+// multiple times; a handle from a nil AddPairObserver is a no-op. Pairs
+// already in flight when Remove returns may still be observed once.
+func (h *ObserverHandle) Remove() {
+	h.once.Do(func() {
+		if h.id == 0 {
+			return
+		}
+		pairObservers.Lock()
+		defer pairObservers.Unlock()
+		delete(pairObservers.m, h.id)
+		rebuildObserverSnap()
+	})
+}
+
+// rebuildObserverSnap republishes the snapshot slice. Caller holds the
+// mutex. Iteration order is by handle id, so observation order is stable.
+func rebuildObserverSnap() {
+	ids := make([]uint64, 0, len(pairObservers.m))
+	for id := range pairObservers.m {
+		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fns := make([]func(Pair, PairResult), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, pairObservers.m[id])
+	}
+	pairObservers.snap.Store(fns)
+}
+
+// observePair invokes every installed observer for a completed job.
+func observePair(p Pair, pr PairResult) {
+	if pr.Err != nil {
+		return
+	}
+	for _, fn := range pairObservers.snap.Load().([]func(Pair, PairResult)) {
+		fn(p, pr)
+	}
+}
+
+// RunObs optionally attaches live instrumentation to one pair's runner —
+// the seam the service layer and cmd/baryonsim use to stream status and
+// request lifecycles out of a run without touching its registry.
+type RunObs struct {
+	// Tracer samples request lifecycles into a ring buffer (obs.Tracer).
+	Tracer *obs.Tracer
+	// Introspector receives RunStatus snapshots from the run goroutine.
+	Introspector *obs.Introspector
+	// StatusEvery is the introspector publish interval in accesses
+	// (0 = the runner's default).
+	StatusEvery uint64
 }
 
 // Pair is one independent simulation job: a full configuration (so sweeps
@@ -177,6 +256,12 @@ type Pair struct {
 	Cfg      config.Config
 	Workload trace.Workload
 	Design   string
+	// Source optionally replaces the workload's synthetic generator with a
+	// recorded access stream (e.g. cmd/baryonsim -trace-file); Workload
+	// still names the run and supplies the value mix.
+	Source trace.Source
+	// Obs optionally attaches live instrumentation to this pair's runner.
+	Obs *RunObs
 }
 
 // PairResult is the outcome of one job in a resilient run: the metrics on
@@ -197,8 +282,43 @@ func runPairIsolated(ctx context.Context, p Pair) (pr PairResult) {
 				p.Workload.Name, p.Design, rec, debug.Stack())
 		}
 	}()
-	pr.Result, pr.Err = RunOneCtx(ctx, p.Cfg, p.Workload, p.Design)
+	pr.Result, pr.Err = RunPairCtx(ctx, p)
 	return pr
+}
+
+// RunPairCtx executes one fully-described pair — including its optional
+// trace source and live instrumentation — with error reporting and
+// cooperative cancellation. An unknown design or an invalid spec returns an
+// error instead of panicking; a cancelled ctx stops the replay and returns
+// the partial metrics with ctx's error.
+func RunPairCtx(ctx context.Context, p Pair) (cpu.Result, error) {
+	spec, ok := Lookup(p.Design)
+	if !ok {
+		return cpu.Result{}, UnknownDesignError(p.Design)
+	}
+	if err := ValidateSpec(spec, p.Cfg); err != nil {
+		return cpu.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return cpu.Result{}, err
+	}
+	var r *cpu.Runner
+	if p.Source != nil {
+		r = cpu.NewRunnerSource(p.Cfg, p.Source, FactorySpec(spec))
+	} else {
+		r = cpu.NewRunner(p.Cfg, p.Workload, FactorySpec(spec))
+	}
+	if o := p.Obs; o != nil {
+		if o.Tracer != nil {
+			r.SetTracer(o.Tracer)
+		}
+		if o.Introspector != nil {
+			r.SetIntrospector(o.Introspector, o.StatusEvery)
+		}
+	}
+	res, err := r.RunCtx(ctx)
+	res.Design = p.Design
+	return res, err
 }
 
 // RunPairsCtx executes every job concurrently and returns per-job outcomes

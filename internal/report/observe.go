@@ -10,17 +10,18 @@ import (
 )
 
 // ObservePairs installs an experiment pair observer (see
-// experiment.SetPairObserver) that writes one bundle per successful run into
+// experiment.AddPairObserver) that writes one bundle per successful run into
 // dir, named by FileName. Distinct pairs write distinct files, so the
 // observer is safe under the experiment worker pool without locking; bundle
 // build or write failures are reported to errw and do not affect the runs
-// themselves. Callers uninstall with experiment.SetPairObserver(nil) when
-// the batch is done.
-func ObservePairs(dir string, errw io.Writer) error {
+// themselves. Callers uninstall by calling Remove on the returned handle
+// when the batch is done; other observers installed concurrently (e.g. by a
+// job server sharing the process) are unaffected.
+func ObservePairs(dir string, errw io.Writer) (*experiment.ObserverHandle, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return nil, err
 	}
-	experiment.SetPairObserver(func(p experiment.Pair, pr experiment.PairResult) {
+	h := experiment.AddPairObserver(func(p experiment.Pair, pr experiment.PairResult) {
 		spec, ok := experiment.Lookup(p.Design)
 		if !ok {
 			fmt.Fprintf(errw, "report: design %q not registered, no bundle written\n", p.Design)
@@ -40,5 +41,5 @@ func ObservePairs(dir string, errw io.Writer) error {
 			fmt.Fprintf(errw, "report: %v\n", err)
 		}
 	})
-	return nil
+	return h, nil
 }

@@ -193,10 +193,11 @@ func TestDiffMissingMetric(t *testing.T) {
 func TestObservePairs(t *testing.T) {
 	dir := t.TempDir()
 	var errBuf bytes.Buffer
-	if err := ObservePairs(dir, &errBuf); err != nil {
+	h, err := ObservePairs(dir, &errBuf)
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer experiment.SetPairObserver(nil)
+	defer h.Remove()
 
 	cfg := quickConfig()
 	w, _ := trace.ByName("505.mcf_r")

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CacheStats is a point-in-time view of the result store's counters.
+type CacheStats struct {
+	// Hits counts lookups served from memory, DiskHits the subset of hits
+	// that had to be reloaded from the on-disk bundle directory first.
+	Hits, DiskHits uint64
+	// Misses counts lookups that found nothing anywhere.
+	Misses uint64
+	// Evictions counts in-memory entries dropped by the LRU bound (disk
+	// copies are never evicted).
+	Evictions uint64
+	// Entries is the current in-memory entry count.
+	Entries int
+}
+
+// Cache is the content-addressed result store: canonical bundle bytes keyed
+// by the spec hash, held in a bounded in-memory LRU with an optional
+// write-through on-disk bundle directory. Because bundle bytes are
+// canonical, a hit is byte-identical to re-running the simulation; because
+// the disk layer is keyed by the same hash, a restarted daemon serves its
+// predecessor's results cold (cold-start reload).
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // MRU at front
+	m   map[string]*list.Element // hash -> *cacheEntry element
+	dir string
+
+	hits, diskHits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+// defaultCacheEntries bounds the in-memory LRU when the caller does not.
+const defaultCacheEntries = 1024
+
+// NewCache builds a store holding up to entries bundles in memory
+// (entries <= 0 selects the default) and, when dir is non-empty, mirroring
+// every stored bundle into dir for persistence across restarts.
+func NewCache(entries int, dir string) (*Cache, error) {
+	if entries <= 0 {
+		entries = defaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{
+		cap: entries,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+		dir: dir,
+	}, nil
+}
+
+// Get returns the stored canonical bundle bytes for hash, consulting memory
+// first and the on-disk directory second (promoting a disk hit into
+// memory). The returned slice is shared and must not be modified.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(hash)); err == nil {
+			c.hits++
+			c.diskHits++
+			c.insert(hash, data)
+			return data, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores the canonical bundle bytes for hash, writing through to the
+// on-disk directory when one is configured. Storing the same hash again is
+// a no-op refresh (identical hash implies identical bytes).
+func (c *Cache) Put(hash string, data []byte) error {
+	c.mu.Lock()
+	c.insert(hash, data)
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	// Write-then-rename so a crashed daemon never leaves a torn bundle a
+	// cold-start reload would serve.
+	tmp := c.path(hash) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path(hash))
+}
+
+// insert adds or refreshes the in-memory entry. Caller holds the mutex.
+func (c *Cache) insert(hash string, data []byte) {
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.m[hash] = c.ll.PushFront(&cacheEntry{hash: hash, data: data})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// Stats returns the store's current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		DiskHits:  c.diskHits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}
+
+// path maps a spec hash ("sha256:<hex>") to its bundle file in the disk
+// directory; the ':' is rewritten so names stay portable.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%s.bundle.json", strings.ReplaceAll(hash, ":", "-")))
+}

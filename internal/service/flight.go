@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent calls for the same key into one
+// execution: the first caller runs fn, every concurrent duplicate waits for
+// that result. It is the stdlib-only core of golang.org/x/sync's
+// singleflight, specialised to Outcome and made context-aware — a waiter
+// whose ctx dies stops waiting (the leader keeps running; its result still
+// lands in the cache for later callers).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	out  Outcome
+	err  error
+}
+
+// do runs fn for key unless an identical call is already in flight, in
+// which case it waits and returns that call's result with shared=true.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (Outcome, error)) (out Outcome, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if call, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.out, true, call.err
+		case <-ctx.Done():
+			return Outcome{}, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.out, call.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.out, false, call.err
+}

@@ -1,0 +1,282 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"baryon/internal/experiment"
+	"baryon/internal/obs"
+	"baryon/internal/trace"
+)
+
+// HTTP API of cmd/baryonsimd. All bodies are JSON; result payloads are the
+// canonical report-bundle bytes, byte-identical for identical jobs whether
+// simulated, collapsed or cache-served.
+//
+//	POST /api/v1/run          run a job synchronously, respond with its bundle
+//	POST /api/v1/jobs         submit a job asynchronously
+//	GET  /api/v1/jobs/{hash}  job status (live progress while running)
+//	GET  /api/v1/jobs/{hash}/result  the completed job's bundle
+//	GET  /api/v1/designs      registered design names
+//	GET  /api/v1/workloads    workload names
+//	GET  /metrics             cache/queue gauges (OpenMetrics)
+//	GET  /healthz             liveness (503 while draining)
+const (
+	// CacheHeader reports how a synchronous run was served: "miss" (this
+	// request simulated), "hit" (result store) or "collapsed" (rode an
+	// identical in-flight request).
+	CacheHeader = "X-Baryon-Cache"
+	// HashHeader carries the job's content-address on run/result responses.
+	HashHeader = "X-Baryon-Spec-Hash"
+
+	omContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// NewHandler builds the daemon's HTTP API over s. runCtx bounds
+// asynchronously submitted jobs (the daemon passes its lifetime context);
+// synchronous runs are bounded by their request's context.
+func NewHandler(s *Service, runCtx context.Context) http.Handler {
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := decodeJob(w, r)
+		if !ok {
+			return
+		}
+		res, err := s.Resolve(job)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		out, err := s.RunResolved(r.Context(), res)
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(HashHeader, out.Hash)
+		w.Header().Set(CacheHeader, cacheStatus(out))
+		w.Write(out.Bundle)
+	})
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := decodeJob(w, r)
+		if !ok {
+			return
+		}
+		st, err := s.Submit(runCtx, job)
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("hash"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("hash")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{hash}/result", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		data, ok := s.ResultBytes(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no result for %q (pending, failed or never submitted)", hash))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(HashHeader, hash)
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /api/v1/designs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, experiment.Designs())
+	})
+	mux.HandleFunc("GET /api/v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		names := []string{}
+		for _, wl := range trace.All() {
+			names = append(names, wl.Name)
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", omContentType)
+		if err := obs.WriteOpenMetrics(w, s.MetricsSnapshot(), obs.OMOptions{}); err != nil {
+			fmt.Fprintf(w, "# rendering error: %v\n", err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			httpError(w, http.StatusServiceUnavailable, ErrDraining)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// cacheStatus renders the CacheHeader value for an outcome.
+func cacheStatus(out Outcome) string {
+	switch {
+	case out.CacheHit:
+		return "hit"
+	case out.Collapsed:
+		return "collapsed"
+	}
+	return "miss"
+}
+
+func decodeJob(w http.ResponseWriter, r *http.Request) (Job, bool) {
+	var job Job
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job: %w", err))
+		return Job{}, false
+	}
+	return job, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// --- Client --------------------------------------------------------------
+
+// Client is the Go client of the daemon's API, used by cmd/loadgen and the
+// in-process tests.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RunSync executes a job via POST /api/v1/run and returns the bundle bytes,
+// the cache status ("miss", "hit" or "collapsed") and the spec hash.
+func (c *Client) RunSync(ctx context.Context, job Job) (bundle []byte, status, hash string, err error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, "", "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", "", fmt.Errorf("run: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, resp.Header.Get(CacheHeader), resp.Header.Get(HashHeader), nil
+}
+
+// Submit enqueues a job via POST /api/v1/jobs.
+func (c *Client) Submit(ctx context.Context, job Job) (JobStatus, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st JobStatus
+	if err := c.doJSON(req, http.StatusAccepted, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches a submitted job's status by hash.
+func (c *Client) Status(ctx context.Context, hash string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+hash, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.doJSON(req, http.StatusOK, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Result fetches a completed job's bundle bytes by hash.
+func (c *Client) Result(ctx context.Context, hash string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+hash+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+func (c *Client) doJSON(req *http.Request, want int, dst any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, dst)
+}

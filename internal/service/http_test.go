@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"baryon/internal/obs"
+)
+
+func testServer(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	s := quickService(t, Options{})
+	srv := httptest.NewServer(NewHandler(s, context.Background()))
+	t.Cleanup(srv.Close)
+	return s, &Client{Base: srv.URL}
+}
+
+// TestHTTPRunSync drives the synchronous endpoint twice and checks the
+// cache header transitions miss -> hit with byte-identical bodies.
+func TestHTTPRunSync(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+	first, status, hash, err := c.RunSync(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "miss" {
+		t.Fatalf("first run cache status %q, want miss", status)
+	}
+	if !strings.HasPrefix(hash, "sha256:") {
+		t.Fatalf("malformed hash header %q", hash)
+	}
+	second, status2, hash2, err := c.RunSync(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status2 != "hit" {
+		t.Fatalf("second run cache status %q, want hit", status2)
+	}
+	if hash2 != hash || !bytes.Equal(first, second) {
+		t.Fatal("cache-served response differs from the simulated one")
+	}
+}
+
+// TestHTTPSubmitPollResult covers the async path end to end over the wire.
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != StateDone {
+		if st.State == StateFailed {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if st, err = c.Status(ctx, st.Hash); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := c.Result(ctx, st.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, _, _, err := c.RunSync(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, sync) {
+		t.Fatal("async result differs from the synchronous bundle")
+	}
+}
+
+// TestHTTPErrors pins the failure-path status codes.
+func TestHTTPErrors(t *testing.T) {
+	s, c := testServer(t)
+	ctx := context.Background()
+
+	if _, _, _, err := c.RunSync(ctx, Job{Design: "NoSuch", Workload: "505.mcf_r"}); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Fatalf("bad design: %v, want 400", err)
+	}
+	if _, err := c.Status(ctx, "sha256:unknown"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown status: %v, want 404", err)
+	}
+	if _, err := c.Result(ctx, "sha256:unknown"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown result: %v, want 404", err)
+	}
+	// An unknown field is a client error, not silently ignored: job schema
+	// growth must never make old daemons mis-key new submissions.
+	resp, err := http.Post(c.Base+"/api/v1/run", "application/json",
+		strings.NewReader(`{"design":"Baryon","workload":"505.mcf_r","cacheWays":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown job field: %d, want 400", resp.StatusCode)
+	}
+
+	s.Drain()
+	if _, _, _, err := c.RunSync(ctx, quickJob); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("draining run: %v, want 503", err)
+	}
+	resp, err = http.Get(c.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPMetricsLint scrapes /metrics after traffic and runs the exposition
+// through the in-repo OpenMetrics linter.
+func TestHTTPMetricsLint(t *testing.T) {
+	_, c := testServer(t)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := c.RunSync(ctx, quickJob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("content type %q", ct)
+	}
+	if err := obs.LintOpenMetrics(resp.Body); err != nil {
+		t.Fatalf("/metrics is not valid OpenMetrics: %v", err)
+	}
+}
+
+// TestHTTPCatalogs checks the designs and workloads listings are non-empty
+// and contain the canonical entries.
+func TestHTTPCatalogs(t *testing.T) {
+	_, c := testServer(t)
+	for path, want := range map[string]string{
+		"/api/v1/designs":   `"Baryon"`,
+		"/api/v1/workloads": `"505.mcf_r"`,
+	} {
+		resp, err := http.Get(c.Base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), want) {
+			t.Fatalf("%s: status %d body %s", path, resp.StatusCode, buf.String())
+		}
+	}
+}

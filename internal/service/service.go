@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baryon/internal/config"
+	"baryon/internal/cpu"
+	"baryon/internal/experiment"
+	"baryon/internal/obs"
+	"baryon/internal/report"
+	"baryon/internal/sim"
+)
+
+// ErrDraining is returned for submissions after Drain: the service is
+// shutting down and accepts no new work.
+var ErrDraining = errors.New("service: draining, not accepting new jobs")
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the in-memory result LRU (0 = default).
+	CacheEntries int
+	// CacheDir, when non-empty, persists every result bundle on disk so a
+	// restarted service serves its predecessor's results (cold-start
+	// reload).
+	CacheDir string
+	// BaseConfig is the configuration jobs override (nil = config.Scaled()).
+	BaseConfig *config.Config
+}
+
+// Outcome is the result of one job submission.
+type Outcome struct {
+	// Hash is the job's content-address (the canonical spec hash).
+	Hash string
+	// Bundle is the canonical report-bundle bytes — byte-identical whether
+	// freshly simulated or served from the store.
+	Bundle []byte
+	// CacheHit reports the bundle came from the result store; no
+	// simulation ran for this call.
+	CacheHit bool
+	// Collapsed reports this call rode an identical in-flight submission
+	// (singleflight); the one simulation was charged to another call.
+	Collapsed bool
+	// Result carries the full in-memory metrics and is set only when this
+	// call executed the simulation itself.
+	Result *cpu.Result
+}
+
+// ServedWithoutSim reports whether this submission cost zero simulations.
+func (o Outcome) ServedWithoutSim() bool { return o.CacheHit || o.Collapsed }
+
+// Service is the shared run-service core: resolve, cache, collapse, and
+// simulate jobs under a bounded worker pool.
+type Service struct {
+	base   config.Config
+	cache  *Cache
+	flight flightGroup
+	sem    chan struct{}
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	submitted, completed, failed    atomic.Uint64
+	simulations, collapsed, waiting atomic.Uint64
+}
+
+// New builds a Service.
+func New(opts Options) (*Service, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache, err := NewCache(opts.CacheEntries, opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	base := config.Scaled()
+	if opts.BaseConfig != nil {
+		base = *opts.BaseConfig
+	}
+	return &Service{
+		base:  base,
+		cache: cache,
+		sem:   make(chan struct{}, workers),
+		jobs:  make(map[string]*jobState),
+	}, nil
+}
+
+// Cache exposes the underlying result store (read-mostly: metrics, tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Resolve validates and canonicalizes a job against the service's base
+// configuration. Errors are client errors (unknown design/workload, bad
+// mode or windows).
+func (s *Service) Resolve(job Job) (Resolved, error) { return job.resolve(s.base) }
+
+// Run executes one job synchronously: result-store hit, collapse into an
+// identical in-flight submission, or a fresh simulation on the worker pool.
+func (s *Service) Run(ctx context.Context, job Job) (Outcome, error) {
+	r, err := s.Resolve(job)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return s.RunResolved(ctx, r)
+}
+
+// RunResolved is Run for a pre-resolved job.
+func (s *Service) RunResolved(ctx context.Context, r Resolved) (Outcome, error) {
+	if s.draining.Load() {
+		return Outcome{}, ErrDraining
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.submitted.Add(1)
+	if data, ok := s.cache.Get(r.Hash); ok {
+		s.completed.Add(1)
+		return Outcome{Hash: r.Hash, Bundle: data, CacheHit: true}, nil
+	}
+	out, shared, err := s.flight.do(ctx, r.Hash, func() (Outcome, error) {
+		return s.simulate(ctx, r)
+	})
+	if err != nil {
+		s.failed.Add(1)
+		return Outcome{}, err
+	}
+	if shared {
+		// Followers share only the immutable bundle bytes, never the
+		// leader's live Stats registry.
+		s.collapsed.Add(1)
+		s.completed.Add(1)
+		return Outcome{Hash: r.Hash, Bundle: out.Bundle, Collapsed: true}, nil
+	}
+	s.completed.Add(1)
+	return out, nil
+}
+
+// simulate runs r on the worker pool and stores its canonical bundle. It is
+// only ever entered once per in-flight hash (flightGroup).
+func (s *Service) simulate(ctx context.Context, r Resolved) (Outcome, error) {
+	s.waiting.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.waiting.Add(^uint64(0))
+	case <-ctx.Done():
+		s.waiting.Add(^uint64(0))
+		return Outcome{}, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	s.simulations.Add(1)
+
+	st := s.state(r)
+	st.setRunning()
+	pair := experiment.Pair{
+		Cfg:      r.Cfg,
+		Workload: r.W,
+		Design:   r.Job.Design,
+		Obs:      &experiment.RunObs{Introspector: st.intro},
+	}
+	// A one-pair batch through the shared pool entry point buys the same
+	// per-pair panic isolation sweeps get: a controller bug fails the job,
+	// not the server.
+	pr := experiment.RunPairsCtx(ctx, []experiment.Pair{pair})[0]
+	if pr.Err != nil {
+		return Outcome{}, pr.Err
+	}
+	b, err := report.New(r.Key, pr.Result)
+	if err != nil {
+		return Outcome{}, err
+	}
+	data, err := b.MarshalCanonical()
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := s.cache.Put(r.Hash, data); err != nil {
+		return Outcome{}, fmt.Errorf("service: storing result: %w", err)
+	}
+	return Outcome{Hash: r.Hash, Bundle: data, Result: &pr.Result}, nil
+}
+
+// --- Async submissions (the daemon's job table) --------------------------
+
+// Job lifecycle states reported by Status.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Progress is the compact live view of a running job, distilled from the
+// runner's Introspector snapshots.
+type Progress struct {
+	Phase          string    `json:"phase"`
+	Accesses       uint64    `json:"accesses"`
+	TargetAccesses uint64    `json:"targetAccesses"`
+	Cycles         uint64    `json:"cycles"`
+	Instructions   uint64    `json:"instructions"`
+	UpdatedAt      time.Time `json:"updatedAt"`
+}
+
+// JobStatus is the serializable status snapshot of one submitted job.
+type JobStatus struct {
+	Hash      string    `json:"hash"`
+	Job       Job       `json:"job"`
+	State     string    `json:"state"`
+	CacheHit  bool      `json:"cacheHit,omitempty"`
+	Collapsed bool      `json:"collapsed,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Progress  *Progress `json:"progress,omitempty"`
+}
+
+// jobState tracks one hash's lifecycle. The introspector is created with
+// the state so status readers can stream progress while the run is live.
+type jobState struct {
+	mu        sync.Mutex
+	hash      string
+	job       Job
+	state     string
+	cacheHit  bool
+	collapsed bool
+	errMsg    string
+	intro     *obs.Introspector
+}
+
+func (st *jobState) setRunning() {
+	st.mu.Lock()
+	if st.state == StateQueued {
+		st.state = StateRunning
+	}
+	st.mu.Unlock()
+}
+
+func (st *jobState) finish(out Outcome, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil {
+		st.state = StateFailed
+		st.errMsg = err.Error()
+		return
+	}
+	st.state = StateDone
+	st.cacheHit = out.CacheHit
+	st.collapsed = out.Collapsed
+}
+
+func (st *jobState) status() JobStatus {
+	st.mu.Lock()
+	js := JobStatus{
+		Hash:      st.hash,
+		Job:       st.job,
+		State:     st.state,
+		CacheHit:  st.cacheHit,
+		Collapsed: st.collapsed,
+		Error:     st.errMsg,
+	}
+	st.mu.Unlock()
+	if js.State == StateRunning {
+		if rs := st.intro.Latest(); rs != nil {
+			js.Progress = &Progress{
+				Phase:          rs.Phase,
+				Accesses:       rs.Accesses,
+				TargetAccesses: rs.TargetAccesses,
+				Cycles:         rs.Cycles,
+				Instructions:   rs.Instructions,
+				UpdatedAt:      rs.UpdatedAt,
+			}
+		}
+	}
+	return js
+}
+
+// state returns (creating if needed) the job table entry for r.
+func (s *Service) state(r Resolved) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.jobs[r.Hash]
+	if !ok {
+		st = &jobState{hash: r.Hash, job: r.Job, state: StateQueued, intro: &obs.Introspector{}}
+		s.jobs[r.Hash] = st
+	}
+	return st
+}
+
+// Submit enqueues a job asynchronously and returns its immediate status.
+// The job is content-addressed: submitting an identical job returns the
+// existing entry (done, running or queued) instead of a duplicate; a failed
+// entry is retried. ctx bounds the job's whole execution — the daemon
+// passes its lifetime context, not the HTTP request's.
+func (s *Service) Submit(ctx context.Context, job Job) (JobStatus, error) {
+	if s.draining.Load() {
+		return JobStatus{}, ErrDraining
+	}
+	r, err := s.Resolve(job)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	st, ok := s.jobs[r.Hash]
+	launch := false
+	if !ok || st.status().State == StateFailed {
+		st = &jobState{hash: r.Hash, job: r.Job, state: StateQueued, intro: &obs.Introspector{}}
+		s.jobs[r.Hash] = st
+		launch = true
+	}
+	s.mu.Unlock()
+	if launch {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			out, err := s.RunResolved(ctx, r)
+			st.finish(out, err)
+		}()
+	}
+	return st.status(), nil
+}
+
+// Status returns the status of a previously submitted hash. A hash that was
+// never submitted this process but whose bundle is in the result store
+// reports as done (the store outlives the job table across restarts).
+func (s *Service) Status(hash string) (JobStatus, bool) {
+	s.mu.Lock()
+	st, ok := s.jobs[hash]
+	s.mu.Unlock()
+	if ok {
+		return st.status(), true
+	}
+	if _, ok := s.cache.Get(hash); ok {
+		return JobStatus{Hash: hash, State: StateDone, CacheHit: true}, true
+	}
+	return JobStatus{}, false
+}
+
+// ResultBytes returns the canonical bundle bytes for a completed hash.
+func (s *Service) ResultBytes(hash string) ([]byte, bool) {
+	return s.cache.Get(hash)
+}
+
+// Drain stops the service accepting new submissions; in-flight jobs keep
+// running. Wait blocks until they finish.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Wait blocks until every accepted job has finished, or ctx expires.
+func (s *Service) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// MetricsSnapshot renders the service's cache and queue gauges as a
+// registry snapshot for the PR 8 OpenMetrics path (obs.WriteOpenMetrics).
+func (s *Service) MetricsSnapshot() sim.Snapshot {
+	st := sim.NewStats()
+	cs := s.cache.Stats()
+	st.Counter("cache.hits").Add(cs.Hits)
+	st.Counter("cache.diskHits").Add(cs.DiskHits)
+	st.Counter("cache.misses").Add(cs.Misses)
+	st.Counter("cache.evictions").Add(cs.Evictions)
+	st.Counter("cache.entries").Add(uint64(cs.Entries))
+	st.Counter("jobs.submitted").Add(s.submitted.Load())
+	st.Counter("jobs.completed").Add(s.completed.Load())
+	st.Counter("jobs.failed").Add(s.failed.Load())
+	st.Counter("jobs.collapsed").Add(s.collapsed.Load())
+	st.Counter("jobs.simulations").Add(s.simulations.Load())
+	st.Counter("queue.running").Add(uint64(len(s.sem)))
+	st.Counter("queue.waiting").Add(s.waiting.Load())
+	return st.Snapshot()
+}
+
+// Simulations reports how many simulations have actually executed — the
+// denominator of every "identical requests cost one simulation" claim.
+func (s *Service) Simulations() uint64 { return s.simulations.Load() }

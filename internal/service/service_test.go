@@ -1,0 +1,355 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"baryon/internal/config"
+)
+
+// quickConfig is a base configuration small enough that a full simulation
+// finishes in well under a second.
+func quickConfig() config.Config {
+	cfg := config.Scaled()
+	cfg.AccessesPerCore = 1200
+	return cfg
+}
+
+func quickService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.BaseConfig == nil {
+		cfg := quickConfig()
+		opts.BaseConfig = &cfg
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var quickJob = Job{Design: "Baryon", Workload: "505.mcf_r", Seed: 1}
+
+// TestRunCacheHit pins the core cache contract: the second identical
+// submission is a hit, costs no simulation, and returns byte-identical
+// bundle bytes.
+func TestRunCacheHit(t *testing.T) {
+	s := quickService(t, Options{})
+	ctx := context.Background()
+	first, err := s.Run(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ServedWithoutSim() {
+		t.Fatalf("first run reported cacheHit=%v collapsed=%v, want a simulation", first.CacheHit, first.Collapsed)
+	}
+	if first.Result == nil {
+		t.Fatal("first run carries no in-memory Result")
+	}
+	second, err := s.Run(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical run was not a cache hit")
+	}
+	if !bytes.Equal(first.Bundle, second.Bundle) {
+		t.Fatalf("cache hit returned different bytes (%d vs %d)", len(first.Bundle), len(second.Bundle))
+	}
+	if first.Hash != second.Hash {
+		t.Fatalf("hashes differ: %s vs %s", first.Hash, second.Hash)
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Fatalf("two identical runs cost %d simulations, want 1", n)
+	}
+	// A different seed is a different content-address and simulates again.
+	job2 := quickJob
+	job2.Seed = 2
+	third, err := s.Run(ctx, job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ServedWithoutSim() {
+		t.Fatal("different seed was served from the cache")
+	}
+	if third.Hash == first.Hash {
+		t.Fatal("seed change did not change the content-address")
+	}
+}
+
+// TestSingleflightCollapse submits N identical jobs concurrently and checks
+// they collapse into exactly one simulation, all returning identical bytes.
+func TestSingleflightCollapse(t *testing.T) {
+	s := quickService(t, Options{Workers: 2})
+	const n = 8
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		outs []Outcome
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := s.Run(context.Background(), quickJob)
+			if err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+			mu.Lock()
+			outs = append(outs, out)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(outs) != n {
+		t.Fatalf("%d/%d runs succeeded", len(outs), n)
+	}
+	if sims := s.Simulations(); sims != 1 {
+		t.Fatalf("%d identical concurrent runs cost %d simulations, want 1", n, sims)
+	}
+	served := 0
+	for _, out := range outs {
+		if out.ServedWithoutSim() {
+			served++
+		}
+		if !bytes.Equal(out.Bundle, outs[0].Bundle) {
+			t.Fatal("collapsed submissions returned different bundle bytes")
+		}
+	}
+	if served != n-1 {
+		t.Fatalf("%d of %d runs served without simulating, want %d", served, n, n-1)
+	}
+}
+
+// TestCacheLRUEviction bounds the in-memory store: with capacity 2, the
+// least recently used entry is evicted and re-misses.
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(h string) {
+		if err := c.Put(h, []byte(h+"-bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("sha256:a")
+	put("sha256:b")
+	if _, ok := c.Get("sha256:a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	put("sha256:c") // evicts b
+	if _, ok := c.Get("sha256:b"); ok {
+		t.Fatal("LRU entry b survived past capacity")
+	}
+	for _, h := range []string{"sha256:a", "sha256:c"} {
+		data, ok := c.Get(h)
+		if !ok || string(data) != h+"-bytes" {
+			t.Fatalf("entry %s lost or corrupted (%q, %v)", h, data, ok)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+}
+
+// TestDiskColdStartReload restarts the service over the same bundle
+// directory and checks the successor serves the predecessor's result without
+// simulating, byte-identically.
+func TestDiskColdStartReload(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1 := quickService(t, Options{CacheDir: dir})
+	first, err := s1.Run(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := quickService(t, Options{CacheDir: dir})
+	second, err := s2.Run(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("cold-start run was not served from the disk store")
+	}
+	if !bytes.Equal(first.Bundle, second.Bundle) {
+		t.Fatal("cold-start reload returned different bundle bytes")
+	}
+	if s2.Simulations() != 0 {
+		t.Fatal("cold-start reload still simulated")
+	}
+	if st := s2.Cache().Stats(); st.DiskHits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 disk hit", st)
+	}
+	// An in-memory eviction falls back to the disk copy too.
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("sha256:filler", []byte("filler")) // evicts nothing yet; hash below evicts it
+	if _, ok := c.Get(first.Hash); !ok {
+		t.Fatal("disk copy not served after eviction")
+	}
+}
+
+// TestResolveRejects pins the client-error paths of job validation.
+func TestResolveRejects(t *testing.T) {
+	s := quickService(t, Options{})
+	cases := []struct {
+		name string
+		job  Job
+	}{
+		{"no design", Job{Workload: "505.mcf_r"}},
+		{"unknown design", Job{Design: "NoSuchDesign", Workload: "505.mcf_r"}},
+		{"no workload", Job{Design: "Baryon"}},
+		{"unknown workload", Job{Design: "Baryon", Workload: "nope"}},
+		{"bad mode", Job{Design: "Baryon", Workload: "505.mcf_r", Mode: "turbo"}},
+		{"negative warmup", Job{Design: "Baryon", Workload: "505.mcf_r", Warmup: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Resolve(tc.job); err == nil {
+			t.Errorf("%s: resolved without error", tc.name)
+		}
+	}
+	// Spelling the default explicitly resolves to the same hash as leaving
+	// it unset: the key records effective values.
+	a, err := s.Resolve(quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := quickJob
+	explicit.Mode = "cache"
+	explicit.Accesses = quickConfig().AccessesPerCore
+	b, err := s.Resolve(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("equivalent jobs hash differently: %s vs %s", a.Hash, b.Hash)
+	}
+}
+
+// TestSubmitAsync covers the daemon's job table: submit, poll to done,
+// fetch the result, and dedupe of repeated submissions.
+func TestSubmitAsync(t *testing.T) {
+	s := quickService(t, Options{})
+	ctx := context.Background()
+	st, err := s.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hash == "" || (st.State != StateQueued && st.State != StateRunning) {
+		t.Fatalf("fresh submission status = %+v", st)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, ok := s.Status(st.Hash)
+		if !ok {
+			t.Fatal("submitted job vanished")
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if cur.State == StateFailed {
+			t.Fatalf("job failed: %s", cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	data, ok := s.ResultBytes(st.Hash)
+	if !ok || len(data) == 0 {
+		t.Fatal("no result bytes for a done job")
+	}
+	// Re-submitting the identical job reuses the table entry.
+	again, err := s.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Hash != st.Hash || again.State != StateDone {
+		t.Fatalf("resubmission status = %+v, want done %s", again, st.Hash)
+	}
+	if s.Simulations() != 1 {
+		t.Fatalf("dedupe failed: %d simulations", s.Simulations())
+	}
+}
+
+// TestDrainRejects checks a draining service refuses new work but completes
+// what it accepted.
+func TestDrainRejects(t *testing.T) {
+	s := quickService(t, Options{})
+	ctx := context.Background()
+	if _, err := s.Run(ctx, quickJob); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := s.Run(ctx, quickJob); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Run after Drain: %v, want ErrDraining", err)
+	}
+	if _, err := s.Submit(ctx, quickJob); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain: %v, want ErrDraining", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Wait(wctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestStatusFromStoreAfterRestart: a hash simulated by a previous process
+// (same cache dir) reports done even though this process never ran it.
+func TestStatusFromStoreAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := quickService(t, Options{CacheDir: dir})
+	out, err := s1.Run(context.Background(), quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := quickService(t, Options{CacheDir: dir})
+	st, ok := s2.Status(out.Hash)
+	if !ok || st.State != StateDone {
+		t.Fatalf("restarted status = %+v, %v; want done", st, ok)
+	}
+	if _, ok := s2.Status("sha256:unknown"); ok {
+		t.Fatal("unknown hash reported a status")
+	}
+}
+
+// TestWorkerPoolBounds floods a single-worker service with distinct jobs and
+// checks they all complete (the pool queues rather than rejects).
+func TestWorkerPoolBounds(t *testing.T) {
+	s := quickService(t, Options{Workers: 1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			job := quickJob
+			job.Seed = seed
+			if _, err := s.Run(context.Background(), job); err != nil {
+				errs <- fmt.Errorf("seed %d: %w", seed, err)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if sims := s.Simulations(); sims != 4 {
+		t.Fatalf("%d simulations, want 4 distinct", sims)
+	}
+}

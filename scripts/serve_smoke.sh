@@ -1,0 +1,105 @@
+#!/bin/sh
+# Serve smoke test: the end-to-end contract of cmd/baryonsimd + cmd/loadgen.
+# Start the daemon on loopback, drive it with loadgen, and assert the
+# acceptance properties of the run-service core:
+#   1. back-to-back identical submissions: the second is a cache hit with a
+#      byte-identical bundle (-verify-bytes), so 2 requests hit >= 50%;
+#   2. the live /metrics exposition lints clean (cmd/omlint);
+#   3. SIGTERM drains cleanly with exit status 0;
+#   4. a restarted daemon over the same -cache-dir serves its predecessor's
+#      results without simulating (cold-start reload: hit rate 1.0);
+#   5. a mixed concurrent load sustains >= 50% cache hit rate.
+# Everything runs against 127.0.0.1 — no external network — so the smoke
+# passes offline. The service core and HTTP API are covered in-process by
+# internal/service's tests; this script is the end-to-end check of the
+# daemon binary, its drain path and the on-disk store.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/baryonsimd" ./cmd/baryonsimd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/omlint" ./cmd/omlint
+
+# start_daemon LOGFILE: launches the daemon on an ephemeral port against the
+# shared cache dir and sets $pid/$addr. The listener address is announced on
+# stderr as "baryonsimd listening on http://HOST:PORT".
+start_daemon() {
+    log=$1
+    "$tmp/baryonsimd" -addr 127.0.0.1:0 -cache-dir "$tmp/cache" 2>"$log" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's|^baryonsimd listening on http://\(.*\)$|\1|p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: baryonsimd never announced its listener" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+start_daemon "$tmp/d1.err"
+trap 'kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+# 1. Same job twice: the second request must be served from the result cache
+# (hit rate 0.50 of 2 requests) and -verify-bytes asserts the cached bundle
+# is byte-identical to the simulated one.
+if ! "$tmp/loadgen" -addr "http://$addr" -clients 1 -requests 2 -seeds 1 \
+    -accesses 2000 -verify-bytes -min-hit-rate 0.5 >"$tmp/pass1.out"; then
+    echo "FAIL: back-to-back identical submissions did not hit the cache" >&2
+    cat "$tmp/pass1.out" >&2
+    exit 1
+fi
+cat "$tmp/pass1.out"
+
+# 2. The daemon's live /metrics must pass the OpenMetrics linter.
+if ! "$tmp/omlint" -url "http://$addr/metrics"; then
+    echo "FAIL: /metrics exposition is not valid OpenMetrics" >&2
+    exit 1
+fi
+
+# 3. SIGTERM must drain cleanly: exit status 0 and the drain log line.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "FAIL: daemon did not exit 0 on SIGTERM" >&2
+    cat "$tmp/d1.err" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$tmp/d1.err"; then
+    echo "FAIL: daemon exited without draining" >&2
+    cat "$tmp/d1.err" >&2
+    exit 1
+fi
+trap 'rm -rf "$tmp"' EXIT
+
+# 4. Cold-start reload: a fresh daemon over the same cache dir serves the
+# same job from disk — every request is a hit, none simulates.
+start_daemon "$tmp/d2.err"
+trap 'kill "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+if ! "$tmp/loadgen" -addr "http://$addr" -clients 1 -requests 2 -seeds 1 \
+    -accesses 2000 -verify-bytes -min-hit-rate 1.0 >"$tmp/pass2.out"; then
+    echo "FAIL: restarted daemon did not serve the stored results" >&2
+    cat "$tmp/pass2.out" "$tmp/d2.err" >&2
+    exit 1
+fi
+cat "$tmp/pass2.out"
+
+# 5. Mixed concurrent load: 40 requests over a 2-job mix cost at most 2
+# simulations, so the hit rate must clear 50% comfortably.
+if ! "$tmp/loadgen" -addr "http://$addr" -clients 4 -requests 40 -seeds 2 \
+    -accesses 2000 -verify-bytes -min-hit-rate 0.5 >"$tmp/pass3.out"; then
+    echo "FAIL: mixed load fell below a 50% cache hit rate" >&2
+    cat "$tmp/pass3.out" >&2
+    exit 1
+fi
+cat "$tmp/pass3.out"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: daemon did not exit 0 on final SIGTERM" >&2; exit 1; }
+trap 'rm -rf "$tmp"' EXIT
+
+echo "serve-smoke OK: cache hit + byte-identity, clean drain, cold-start reload, >=50% mixed hit rate on $addr"
