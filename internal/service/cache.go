@@ -72,21 +72,35 @@ func NewCache(entries int, dir string) (*Cache, error) {
 // memory). The returned slice is shared and must not be modified.
 func (c *Cache) Get(hash string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.m[hash]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).data, true
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
 	}
+	c.mu.Unlock()
+	// The disk read happens outside the mutex so one cold lookup never
+	// stalls concurrent Get/Put/Stats calls; the map is re-checked after
+	// reacquiring in case a concurrent fill won the race.
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.path(hash)); err == nil {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if el, ok := c.m[hash]; ok {
+				c.ll.MoveToFront(el)
+				c.hits++
+				return el.Value.(*cacheEntry).data, true
+			}
 			c.hits++
 			c.diskHits++
 			c.insert(hash, data)
 			return data, true
 		}
 	}
+	c.mu.Lock()
 	c.misses++
+	c.mu.Unlock()
 	return nil, false
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -64,8 +65,10 @@ type Service struct {
 	flight flightGroup
 	sem    chan struct{}
 
-	mu   sync.Mutex
-	jobs map[string]*jobState
+	mu       sync.Mutex
+	jobs     map[string]*jobState
+	finished *list.List // finished jobStates, oldest at front
+	jobsCap  int        // bound on retained finished entries
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
@@ -89,11 +92,32 @@ func New(opts Options) (*Service, error) {
 		base = *opts.BaseConfig
 	}
 	return &Service{
-		base:  base,
-		cache: cache,
-		sem:   make(chan struct{}, workers),
-		jobs:  make(map[string]*jobState),
+		base:     base,
+		cache:    cache,
+		sem:      make(chan struct{}, workers),
+		jobs:     make(map[string]*jobState),
+		finished: list.New(),
+		// The job table keeps as many finished entries as the cache keeps
+		// bundles; beyond that, Status falls back to the result store.
+		jobsCap: cache.cap,
 	}, nil
+}
+
+// acquire registers one unit of in-flight work, refusing when the service is
+// draining. The re-check after wg.Add closes the race with Drain+Wait: work
+// that passes the second check either completed its Add before Wait could
+// observe a zero counter, or is rejected here — Wait never returns while an
+// accepted job is still starting.
+func (s *Service) acquire() bool {
+	if s.draining.Load() {
+		return false
+	}
+	s.wg.Add(1)
+	if s.draining.Load() {
+		s.wg.Done()
+		return false
+	}
+	return true
 }
 
 // Cache exposes the underlying result store (read-mostly: metrics, tests).
@@ -116,11 +140,16 @@ func (s *Service) Run(ctx context.Context, job Job) (Outcome, error) {
 
 // RunResolved is Run for a pre-resolved job.
 func (s *Service) RunResolved(ctx context.Context, r Resolved) (Outcome, error) {
-	if s.draining.Load() {
+	if !s.acquire() {
 		return Outcome{}, ErrDraining
 	}
-	s.wg.Add(1)
 	defer s.wg.Done()
+	return s.runAccepted(ctx, r)
+}
+
+// runAccepted executes an already-accepted job; the caller holds the
+// work unit (acquire) that keeps Wait from returning early.
+func (s *Service) runAccepted(ctx context.Context, r Resolved) (Outcome, error) {
 	s.submitted.Add(1)
 	if data, ok := s.cache.Get(r.Hash); ok {
 		s.completed.Add(1)
@@ -160,6 +189,20 @@ func (s *Service) simulate(ctx context.Context, r Resolved) (Outcome, error) {
 
 	st := s.state(r)
 	st.setRunning()
+	out, err := s.runPair(ctx, r, st)
+	// Record the terminal state here, where the run actually ends: the sync
+	// path (Run/RunResolved) has no Submit goroutine to finish the table
+	// entry, and without this a completed synchronous miss would report
+	// "running" forever.
+	if st.finish(out, err) {
+		s.retire(st)
+	}
+	return out, err
+}
+
+// runPair executes the resolved job as a one-pair batch and stores its
+// canonical bundle in the result store.
+func (s *Service) runPair(ctx context.Context, r Resolved, st *jobState) (Outcome, error) {
 	pair := experiment.Pair{
 		Cfg:      r.Cfg,
 		Workload: r.W,
@@ -240,17 +283,25 @@ func (st *jobState) setRunning() {
 	st.mu.Unlock()
 }
 
-func (st *jobState) finish(out Outcome, err error) {
+// finish records the terminal state and reports whether this call performed
+// the transition. Once done or failed the entry is immutable: a simulate
+// leader and a Submit goroutine may both call finish for the same hash, and
+// the first (the run that actually ended) wins.
+func (st *jobState) finish(out Outcome, err error) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.state == StateDone || st.state == StateFailed {
+		return false
+	}
 	if err != nil {
 		st.state = StateFailed
 		st.errMsg = err.Error()
-		return
+		return true
 	}
 	st.state = StateDone
 	st.cacheHit = out.CacheHit
 	st.collapsed = out.Collapsed
+	return true
 }
 
 func (st *jobState) status() JobStatus {
@@ -291,6 +342,26 @@ func (s *Service) state(r Resolved) *jobState {
 	return st
 }
 
+// retire enrolls a finished jobState in the bounded retention list and
+// evicts the oldest finished entries beyond the bound, keeping the job table
+// from growing without limit in a long-running daemon. Only the caller that
+// performed the finish transition retires an entry, so each appears at most
+// once. Eviction re-checks identity: a failed hash resubmitted (and so
+// replaced in the map) is not clobbered by its predecessor's retirement.
+func (s *Service) retire(st *jobState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished.PushBack(st)
+	for s.finished.Len() > s.jobsCap {
+		el := s.finished.Front()
+		s.finished.Remove(el)
+		old := el.Value.(*jobState)
+		if cur, ok := s.jobs[old.hash]; ok && cur == old {
+			delete(s.jobs, old.hash)
+		}
+	}
+}
+
 // Submit enqueues a job asynchronously and returns its immediate status.
 // The job is content-addressed: submitting an identical job returns the
 // existing entry (done, running or queued) instead of a duplicate; a failed
@@ -314,19 +385,35 @@ func (s *Service) Submit(ctx context.Context, job Job) (JobStatus, error) {
 	}
 	s.mu.Unlock()
 	if launch {
-		s.wg.Add(1)
+		if !s.acquire() {
+			// Drain raced the submission: roll back the queued entry (if
+			// still ours) instead of leaving a job no goroutine will run.
+			s.mu.Lock()
+			if cur, ok := s.jobs[r.Hash]; ok && cur == st {
+				delete(s.jobs, r.Hash)
+			}
+			s.mu.Unlock()
+			return JobStatus{}, ErrDraining
+		}
 		go func() {
 			defer s.wg.Done()
-			out, err := s.RunResolved(ctx, r)
-			st.finish(out, err)
+			// runAccepted, not RunResolved: this goroutine already holds an
+			// accepted work unit, and a Drain between Submit and here must
+			// not fail a job the service promised to run.
+			out, err := s.runAccepted(ctx, r)
+			if st.finish(out, err) {
+				s.retire(st)
+			}
 		}()
 	}
 	return st.status(), nil
 }
 
 // Status returns the status of a previously submitted hash. A hash that was
-// never submitted this process but whose bundle is in the result store
-// reports as done (the store outlives the job table across restarts).
+// never submitted this process — or whose finished table entry was evicted
+// by the retention bound — but whose bundle is in the result store reports
+// as done (the store outlives the job table across restarts and evictions).
+// Evicted failed entries report not-found; resubmitting retries them.
 func (s *Service) Status(hash string) (JobStatus, bool) {
 	s.mu.Lock()
 	st, ok := s.jobs[hash]

@@ -200,6 +200,50 @@ func TestDiskColdStartReload(t *testing.T) {
 	}
 }
 
+// TestCacheConcurrentDiskGet checks the disk-reload path under concurrency:
+// the cold read happens outside the cache mutex, so racing lookups must all
+// return the correct bytes and settle on one in-memory entry.
+func TestCacheConcurrentDiskGet(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "sha256:deadbeef"
+	want := []byte("bundle-bytes")
+	if err := seed.Put(hash, want); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCache(4, dir) // cold: memory empty, bundle on disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, ok := c.Get(hash)
+			if !ok || !bytes.Equal(data, want) {
+				t.Errorf("concurrent disk get = %q, %v", data, ok)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits != n || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want %d hits and 0 misses", st, n)
+	}
+	if st.DiskHits < 1 || st.DiskHits > n {
+		t.Fatalf("diskHits = %d, want within [1, %d]", st.DiskHits, n)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("%d in-memory entries after racing fills, want 1", st.Entries)
+	}
+}
+
 // TestResolveRejects pins the client-error paths of job validation.
 func TestResolveRejects(t *testing.T) {
 	s := quickService(t, Options{})
@@ -280,6 +324,106 @@ func TestSubmitAsync(t *testing.T) {
 	}
 	if s.Simulations() != 1 {
 		t.Fatalf("dedupe failed: %d simulations", s.Simulations())
+	}
+}
+
+// TestSyncRunFinishesJobTable is the regression test for the stale-"running"
+// bug: a synchronous miss creates a job-table entry, and once the run
+// returns, that entry must be done — and a later async Submit of the same
+// job must see it as done instead of finding a stuck entry it won't relaunch.
+func TestSyncRunFinishesJobTable(t *testing.T) {
+	s := quickService(t, Options{})
+	ctx := context.Background()
+	out, err := s.Run(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedWithoutSim() {
+		t.Fatalf("first run did not simulate: %+v", out)
+	}
+	st, ok := s.Status(out.Hash)
+	if !ok {
+		t.Fatal("no status for a synchronously completed hash")
+	}
+	if st.State != StateDone {
+		t.Fatalf("after sync run, Status = %q, want %q", st.State, StateDone)
+	}
+	// A subsequent Submit of the identical job must report done immediately:
+	// the old bug left the entry "running" forever, so a polling client hung.
+	sub, err := s.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.State != StateDone {
+		t.Fatalf("Submit after sync run = %q, want %q", sub.State, StateDone)
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Fatalf("%d simulations, want 1", n)
+	}
+}
+
+// TestJobTableBounded pins the retention bound: finished job-table entries
+// beyond the cap are evicted, and their status is still served from the
+// result store.
+func TestJobTableBounded(t *testing.T) {
+	s := quickService(t, Options{CacheEntries: 2})
+	ctx := context.Background()
+	var hashes []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		job := quickJob
+		job.Seed = seed
+		out, err := s.Run(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, out.Hash)
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("job table holds %d finished entries, want <= 2 (the cache cap)", n)
+	}
+	// The newest hash survived both bounds and still reports done from the
+	// table or the store.
+	st, ok := s.Status(hashes[len(hashes)-1])
+	if !ok || st.State != StateDone {
+		t.Fatalf("newest hash status = %+v, %v; want done", st, ok)
+	}
+}
+
+// TestDrainWaitRace hammers the Drain+Wait vs. submission race under the
+// race detector: after Wait returns, no accepted job may still be starting,
+// and every submission either ran or was refused with ErrDraining.
+func TestDrainWaitRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s := quickService(t, Options{})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				<-start
+				job := quickJob
+				job.Seed = seed
+				if _, err := s.Run(context.Background(), job); err != nil && !errors.Is(err, ErrDraining) {
+					t.Errorf("run: %v", err)
+				}
+			}(uint64(g + 1))
+		}
+		close(start)
+		s.Drain()
+		wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Wait(wctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		cancel()
+		simsAtWait := s.Simulations()
+		wg.Wait()
+		if sims := s.Simulations(); sims != simsAtWait {
+			t.Fatalf("a job started after Wait returned (%d -> %d simulations)", simsAtWait, sims)
+		}
 	}
 }
 
