@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke check
+.PHONY: build vet lint test race bench bench-json fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke chaos-smoke check
 
 # Pinned staticcheck version; CI installs exactly this, so lint results are
 # reproducible. Update deliberately alongside toolchain bumps.
@@ -50,15 +50,20 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_singlerun.json \
 		-baseline BENCH_baseline.json -threshold 0.10
 
-# Short native-fuzz bursts over the compressor round-trips and the
-# design-file Overrides schema (go test allows one -fuzz target per
-# invocation, hence the loop).
+# Short native-fuzz bursts over the compressor round-trips, the design-file
+# Overrides schema, the service's job-decode and store-entry verification
+# surfaces, and the strict bundle decoder (go test allows one -fuzz target
+# per invocation, hence the loops).
 FUZZTIME ?= 10s
 fuzz-smoke:
 	for t in FuzzFPCRoundTrip FuzzBDIRoundTrip FuzzCPackRoundTrip; do \
 		$(GO) test ./internal/compress -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/config -run '^$$' -fuzz FuzzOverridesJSON -fuzztime $(FUZZTIME)
+	for t in FuzzJobDecode FuzzStoreVerify; do \
+		$(GO) test ./internal/service -run '^$$' -fuzz $$t -fuzztime $(FUZZTIME) || exit 1; \
+	done
+	$(GO) test ./internal/report -run '^$$' -fuzz FuzzBundleDecode -fuzztime $(FUZZTIME)
 
 # End-to-end graceful-shutdown check: SIGINT a running sweep, assert a valid
 # partial CSV + non-zero exit (see scripts/cancel_smoke.sh).
@@ -90,4 +95,11 @@ report-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke
+# End-to-end crash-safety and overload check: kill -9 the daemon mid-flight,
+# corrupt and truncate store entries, flood it open-loop past capacity — it
+# must recover, quarantine, self-heal byte-identically and shed load with
+# 429s that retrying clients converge through (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
+check: build vet lint race bench fuzz-smoke cancel-smoke cxl-smoke metrics-smoke report-smoke serve-smoke chaos-smoke

@@ -35,6 +35,10 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist result bundles to this directory; a restarted daemon re-serves them")
 	accesses := flag.Int("accesses", 0, "base accesses per core for jobs that leave accesses unset (0 = config default)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "wall-clock budget for in-flight jobs after a shutdown signal")
+	maxQueue := flag.Int("max-queue", 256, "max accepted-but-unfinished async jobs; beyond it submissions get 429 + Retry-After (0 = unbounded)")
+	maxSyncWaiters := flag.Int("max-sync-waiters", 64, "max synchronous cache-miss requests waiting for a simulation; beyond it requests get 429 + Retry-After (0 = unbounded)")
+	requestTimeout := flag.Duration("request-timeout", 0, "default and maximum per-request execution budget; clients lower it via the X-Baryon-Deadline header (0 = none)")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-response write deadline: a slower client has its connection dropped (0 = none)")
 	common := service.RegisterFlags(flag.CommandLine, service.FlagDesignFiles, "")
 	flag.Parse()
 
@@ -54,10 +58,13 @@ func main() {
 		cfg.AccessesPerCore = *accesses
 	}
 	svc, err := service.New(service.Options{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		BaseConfig:   &cfg,
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		BaseConfig:     &cfg,
+		MaxQueue:       *maxQueue,
+		MaxSyncWaiters: *maxSyncWaiters,
+		Log:            os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,7 +84,13 @@ func main() {
 	// finish and only cancels them if the drain budget expires.
 	runCtx, cancelRuns := context.WithCancel(context.Background())
 	defer cancelRuns()
-	srv := &http.Server{Handler: service.NewHandler(svc, runCtx)}
+	handler := service.NewHandlerOpts(svc, service.HandlerOptions{
+		RunCtx:         runCtx,
+		RequestTimeout: *requestTimeout,
+		WriteTimeout:   *writeTimeout,
+		Log:            os.Stderr,
+	})
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

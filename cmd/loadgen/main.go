@@ -1,7 +1,8 @@
 // Command loadgen load-tests a running baryonsimd: concurrent clients drive
 // a seeded mix of jobs through the synchronous run endpoint and the harness
 // reports how the service fared — cache hit rate, singleflight collapses,
-// and the client-observed latency distribution.
+// overload rejections and retries, and the client-observed latency
+// distribution.
 //
 //	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -clients 8 -requests 200
 //
@@ -10,6 +11,15 @@
 // are byte-identical to simulated ones. -min-hit-rate turns the harness
 // into a gate: exit non-zero unless enough requests were served without a
 // simulation.
+//
+// With -overload R the harness switches to an open-loop arrival process:
+// requests launch at R per second regardless of completions, the shape that
+// actually drives a server past capacity (a closed loop self-throttles).
+// The client retries 429/503 rejections with capped exponential backoff and
+// full jitter, honoring Retry-After; -max-reject-rate then gates on the
+// fraction of requests that still failed after retries — with admission
+// control and a deterministic cache behind it, an overloaded service should
+// converge to zero.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -42,7 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "base URL of the daemon, e.g. http://127.0.0.1:8080 (required)")
-	clients := fs.Int("clients", 4, "concurrent client goroutines")
+	clients := fs.Int("clients", 4, "concurrent client goroutines (closed loop; ignored with -overload)")
 	requests := fs.Int("requests", 100, "total requests across all clients")
 	designs := fs.String("designs", "Baryon", "comma-separated design mix")
 	workloads := fs.String("workloads", "505.mcf_r", "comma-separated workload mix")
@@ -53,6 +64,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
 	verifyBytes := fs.Bool("verify-bytes", false, "assert responses with equal spec hashes are byte-identical")
 	minHitRate := fs.Float64("min-hit-rate", -1, "fail unless at least this fraction of requests was served without simulating (-1 = off)")
+	overload := fs.Float64("overload", 0, "open-loop arrival rate in requests/sec; launches requests on a clock instead of waiting for completions (0 = closed loop)")
+	maxRejectRate := fs.Float64("max-reject-rate", -1, "fail if more than this fraction of requests still failed after retries (-1 = off: any error fails)")
+	retries := fs.Int("retries", 5, "max attempts per request including the first; rejections back off with jitter honoring Retry-After (1 = no retries)")
+	dumpDir := fs.String("dump-dir", "", "write the first response body per spec hash into this directory as <hash>.json (byte-identity across runs)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +83,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 2
+		}
 	}
 
 	// The job mix is the cartesian product of designs, workloads and seeds;
@@ -93,10 +114,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sequence[i] = mix[rng.Intn(len(mix))]
 	}
 
-	client := &service.Client{Base: strings.TrimRight(*addr, "/")}
+	client := &service.Client{
+		Base:  strings.TrimRight(*addr, "/"),
+		Retry: service.RetryPolicy{MaxAttempts: *retries, Disable: *retries <= 1},
+	}
 	var (
-		next    = make(chan service.Job)
-		wg      sync.WaitGroup
 		tallyMu sync.Mutex
 		hits    int
 		collaps int
@@ -106,61 +128,99 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// firstBundle maps spec hash -> digest of the first response body,
 		// the reference every later same-hash response must match.
 		firstBundle sync.Map
-		mismatchMu  sync.Mutex
+		dumped      sync.Map
 		mismatches  []string
 	)
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local := sim.NewStats().Histogram("loadgen.lat.us")
-			var lhits, lcollaps, lmisses, lerrors int
-			for job := range next {
-				start := time.Now()
-				bundle, status, hash, err := client.RunSync(ctx, job)
-				local.Observe(uint64(time.Since(start).Microseconds()))
-				if err != nil {
-					lerrors++
-					fmt.Fprintf(stderr, "loadgen: %s/%s seed %d: %v\n", job.Design, job.Workload, job.Seed, err)
-					continue
-				}
-				switch status {
-				case "hit":
-					lhits++
-				case "collapsed":
-					lcollaps++
-				default:
-					lmisses++
-				}
-				if *verifyBytes {
-					sum := sha256.Sum256(bundle)
-					if prev, loaded := firstBundle.LoadOrStore(hash, sum); loaded && prev != sum {
-						mismatchMu.Lock()
-						mismatches = append(mismatches, hash)
-						mismatchMu.Unlock()
-					}
+	oneRequest := func(job service.Job) {
+		start := time.Now()
+		bundle, status, hash, err := client.RunSync(ctx, job)
+		lat := uint64(time.Since(start).Microseconds())
+		tallyMu.Lock()
+		hist.Observe(lat)
+		if err != nil {
+			errors++
+			// stderr may be a plain buffer in tests; keep writes under the
+			// tally lock so concurrent requests don't race on it.
+			fmt.Fprintf(stderr, "loadgen: %s/%s seed %d: %v\n", job.Design, job.Workload, job.Seed, err)
+			tallyMu.Unlock()
+			return
+		}
+		switch status {
+		case "hit":
+			hits++
+		case "collapsed":
+			collaps++
+		default:
+			misses++
+		}
+		tallyMu.Unlock()
+		if *verifyBytes {
+			sum := sha256.Sum256(bundle)
+			if prev, loaded := firstBundle.LoadOrStore(hash, sum); loaded && prev != sum {
+				tallyMu.Lock()
+				mismatches = append(mismatches, hash)
+				tallyMu.Unlock()
+			}
+		}
+		if *dumpDir != "" {
+			if _, loaded := dumped.LoadOrStore(hash, true); !loaded {
+				name := strings.ReplaceAll(hash, ":", "-") + ".json"
+				if werr := os.WriteFile(filepath.Join(*dumpDir, name), bundle, 0o644); werr != nil {
+					tallyMu.Lock()
+					fmt.Fprintf(stderr, "loadgen: dump %s: %v\n", name, werr)
+					tallyMu.Unlock()
 				}
 			}
-			tallyMu.Lock()
-			hits += lhits
-			collaps += lcollaps
-			misses += lmisses
-			errors += lerrors
-			hist.Merge(local)
-			tallyMu.Unlock()
-		}()
-	}
-	sent := 0
-feed:
-	for _, job := range sequence {
-		select {
-		case next <- job:
-			sent++
-		case <-ctx.Done():
-			break feed
 		}
 	}
-	close(next)
+
+	var wg sync.WaitGroup
+	sent := 0
+	if *overload > 0 {
+		// Open loop: arrivals on a clock, one goroutine per request. This
+		// is deliberately not admission-controlled on the client side — the
+		// point is to push the server past capacity and watch it shed load
+		// with 429s instead of falling over.
+		interval := time.Duration(float64(time.Second) / *overload)
+	arrive:
+		for _, job := range sequence {
+			wg.Add(1)
+			go func(j service.Job) {
+				defer wg.Done()
+				oneRequest(j)
+			}(job)
+			sent++
+			if sent == len(sequence) {
+				break
+			}
+			select {
+			case <-time.After(interval):
+			case <-ctx.Done():
+				break arrive
+			}
+		}
+	} else {
+		next := make(chan service.Job)
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for job := range next {
+					oneRequest(job)
+				}
+			}()
+		}
+	feed:
+		for _, job := range sequence {
+			select {
+			case next <- job:
+				sent++
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+	}
 	wg.Wait()
 
 	if sent < *requests {
@@ -170,13 +230,27 @@ feed:
 	if sent > 0 {
 		hitRate = float64(hits+collaps) / float64(sent)
 	}
-	// One machine-readable line: scripts/serve_smoke.sh greps these fields.
-	fmt.Fprintf(stdout, "requests=%d errors=%d hits=%d collapsed=%d misses=%d hitRate=%.2f\n",
-		sent, errors, hits, collaps, misses, hitRate)
+	// One machine-readable line: scripts/serve_smoke.sh and
+	// scripts/chaos_smoke.sh grep these fields.
+	fmt.Fprintf(stdout, "requests=%d errors=%d hits=%d collapsed=%d misses=%d hitRate=%.2f rejected=%d retries=%d\n",
+		sent, errors, hits, collaps, misses, hitRate, client.Rejected(), client.Retries())
 	fmt.Fprintf(stdout, "latency_us: %s\n", hist.Summary())
 
 	fail := false
-	if errors > 0 || ctx.Err() != nil {
+	if ctx.Err() != nil {
+		fail = true
+	}
+	if *maxRejectRate >= 0 {
+		rejectRate := 0.0
+		if sent > 0 {
+			rejectRate = float64(errors) / float64(sent)
+		}
+		if rejectRate > *maxRejectRate {
+			fail = true
+			fmt.Fprintf(stderr, "loadgen: FAIL: %.2f of requests failed after retries, above the allowed %.2f\n",
+				rejectRate, *maxRejectRate)
+		}
+	} else if errors > 0 {
 		fail = true
 	}
 	if len(mismatches) > 0 {

@@ -9,10 +9,14 @@
 //	go run ./cmd/omlint -url http://127.0.0.1:8080/metrics
 //	baryonsim -metrics-out /dev/stdout | go run ./cmd/omlint
 //
+// With -dump the validated exposition is echoed to stdout after linting,
+// so shell harnesses can lint and grep a live endpoint in one request.
+//
 // Exit status: 0 valid, 1 invalid, 2 usage or fetch error.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +37,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	url := fs.String("url", "", "fetch the exposition from this URL instead of a file")
 	timeout := fs.Duration("timeout", 10*time.Second, "fetch timeout for -url")
+	dump := fs.String("dump", "", "echo the exposition to stdout after linting: 'ok' only when valid, 'always' even when invalid")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: omlint [-url URL] [file]\n")
 		fs.PrintDefaults()
@@ -76,6 +81,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	default:
 		fs.Usage()
 		return 2
+	}
+
+	if *dump != "" && *dump != "ok" && *dump != "always" {
+		fmt.Fprintf(stderr, "omlint: -dump must be 'ok' or 'always'\n")
+		return 2
+	}
+	if *dump != "" {
+		// The input may be a one-shot stream (HTTP body, stdin); buffer it so
+		// the same bytes can be linted and then echoed.
+		raw, err := io.ReadAll(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "omlint: %s: %v\n", name, err)
+			return 2
+		}
+		in = bytes.NewReader(raw)
+		lintErr := obs.LintOpenMetrics(in)
+		if lintErr == nil || *dump == "always" {
+			stdout.Write(raw)
+		}
+		if lintErr != nil {
+			fmt.Fprintf(stderr, "omlint: %s: %v\n", name, lintErr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "omlint: %s: OK\n", name)
+		return 0
 	}
 
 	if err := obs.LintOpenMetrics(in); err != nil {

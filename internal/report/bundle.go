@@ -206,22 +206,32 @@ func WriteFile(path string, b Bundle) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// ReadFile loads a bundle, rejecting unknown fields and foreign schema
-// versions so a corrupt or future-format file fails loudly instead of
-// diffing as a wall of spurious findings.
+// Decode parses bundle bytes, rejecting unknown fields and foreign schema
+// versions so corrupt or future-format data fails loudly instead of
+// diffing as a wall of spurious findings. It is the single strict entry
+// point for untrusted bundle bytes (files, cache entries, fuzz inputs).
+func Decode(data []byte) (Bundle, error) {
+	var b Bundle
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Bundle{}, err
+	}
+	if b.Schema != SchemaVersion {
+		return Bundle{}, fmt.Errorf("bundle schema %d, this build reads %d", b.Schema, SchemaVersion)
+	}
+	return b, nil
+}
+
+// ReadFile loads a bundle via Decode's strict parsing.
 func ReadFile(path string) (Bundle, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Bundle{}, err
 	}
-	var b Bundle
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&b); err != nil {
+	b, err := Decode(data)
+	if err != nil {
 		return Bundle{}, fmt.Errorf("%s: %w", path, err)
-	}
-	if b.Schema != SchemaVersion {
-		return Bundle{}, fmt.Errorf("%s: bundle schema %d, this build reads %d", path, b.Schema, SchemaVersion)
 	}
 	return b, nil
 }

@@ -3,21 +3,35 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"baryon/internal/obs"
 )
 
+// testServer serves a default service; the returned client is single-attempt
+// (Retry disabled) so error-path tests observe raw status codes instead of
+// backoff loops. Retry behavior has its own tests below.
 func testServer(t *testing.T) (*Service, *Client) {
 	t.Helper()
-	s := quickService(t, Options{})
-	srv := httptest.NewServer(NewHandler(s, context.Background()))
+	return testServerOpts(t, Options{}, HandlerOptions{})
+}
+
+func testServerOpts(t *testing.T, sopts Options, hopts HandlerOptions) (*Service, *Client) {
+	t.Helper()
+	s := quickService(t, sopts)
+	if hopts.RunCtx == nil {
+		hopts.RunCtx = context.Background()
+	}
+	srv := httptest.NewServer(NewHandlerOpts(s, hopts))
 	t.Cleanup(srv.Close)
-	return s, &Client{Base: srv.URL}
+	return s, &Client{Base: srv.URL, Retry: RetryPolicy{Disable: true}}
 }
 
 // TestHTTPRunSync drives the synchronous endpoint twice and checks the
@@ -142,6 +156,198 @@ func TestHTTPMetricsLint(t *testing.T) {
 	}
 	if err := obs.LintOpenMetrics(resp.Body); err != nil {
 		t.Fatalf("/metrics is not valid OpenMetrics: %v", err)
+	}
+}
+
+// TestHTTPOverload429 saturates the sync-waiter bound over the wire and
+// checks the refusal is a 429 carrying a Retry-After hint.
+func TestHTTPOverload429(t *testing.T) {
+	s, c := testServerOpts(t, Options{Workers: 1, MaxSyncWaiters: 1}, HandlerOptions{})
+	release := fillWorkers(s)
+	t.Cleanup(release)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.RunSync(context.Background(), quickJob)
+		done <- err
+	}()
+	waitCond(t, "the first request to park as a sync waiter", func() bool {
+		return s.syncWaiters.Load() == 1
+	})
+	body, err := json.Marshal(Job{Design: "Baryon", Workload: "505.mcf_r", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.Base+"/api/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded run: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("parked request failed after workers freed: %v", err)
+	}
+}
+
+// TestHTTPDeadline pins the per-request budget: an expired X-Baryon-Deadline
+// answers 504, a malformed one 400, and the Client's Deadline field sends the
+// header on every request.
+func TestHTTPDeadline(t *testing.T) {
+	s, c := testServerOpts(t, Options{Workers: 1}, HandlerOptions{})
+	release := fillWorkers(s)
+	t.Cleanup(release)
+
+	body, err := json.Marshal(quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(deadline string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, c.Base+"/api/v1/run", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(DeadlineHeader, deadline)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("30ms"); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: HTTP %d, want 504", resp.StatusCode)
+	}
+	if resp := post("soon"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed deadline: HTTP %d, want 400", resp.StatusCode)
+	}
+	if n := s.deadlinesExceeded.Load(); n != 1 {
+		t.Fatalf("deadline.exceeded = %d, want 1", n)
+	}
+	// The client-side knob reaches the same path.
+	c.Deadline = 30 * time.Millisecond
+	if _, _, _, err := c.RunSync(context.Background(), quickJob); err == nil ||
+		!strings.Contains(err.Error(), "504") {
+		t.Fatalf("client deadline: %v, want 504", err)
+	}
+}
+
+// TestPanicMiddleware: a panicking handler answers 500 with the panic logged
+// (stack included) instead of tearing down the server.
+func TestPanicMiddleware(t *testing.T) {
+	var log bytes.Buffer
+	h := withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), time.Second, &log)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/panics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: HTTP %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(body.String(), "internal panic") {
+		t.Fatalf("500 body %q lacks the panic marker", body.String())
+	}
+	if !strings.Contains(log.String(), "boom") || !strings.Contains(log.String(), "goroutine") {
+		t.Fatalf("panic log lacks message or stack: %s", log.String())
+	}
+	// The server survived: a second request is served normally.
+	resp2, err := http.Get(srv.URL + "/again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+}
+
+// TestClientRetryConvergence: a client hitting transient 429s backs off
+// (honoring Retry-After as the floor) and converges to the byte-identical
+// answer the first attempt would have produced.
+func TestClientRetryConvergence(t *testing.T) {
+	s := quickService(t, Options{})
+	inner := NewHandler(s, context.Background())
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/run" && calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "injected overload", http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	var delays []time.Duration
+	c := &Client{Base: srv.URL, Retry: RetryPolicy{
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			return nil
+		},
+	}}
+	bundle, status, _, err := c.RunSync(context.Background(), quickJob)
+	if err != nil {
+		t.Fatalf("retrying run: %v", err)
+	}
+	if status != "miss" {
+		t.Fatalf("converged status %q, want miss", status)
+	}
+	if got, want := c.Rejected(), uint64(2); got != want {
+		t.Fatalf("client rejected = %d, want %d", got, want)
+	}
+	if got, want := c.Retries(), uint64(2); got != want {
+		t.Fatalf("client retries = %d, want %d", got, want)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if d < 7*time.Second {
+			t.Fatalf("sleep %d = %v, below the 7s Retry-After floor", i, d)
+		}
+	}
+	direct, err := s.Run(context.Background(), quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bundle, direct.Bundle) {
+		t.Fatal("retried response differs from the direct bundle bytes")
+	}
+}
+
+// TestClientRetryExhaustion: a persistently overloaded server exhausts the
+// attempt budget and the last rejection surfaces as the error.
+func TestClientRetryExhaustion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "still overloaded", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	var sleeps int
+	c := &Client{Base: srv.URL, Retry: RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps++
+			return nil
+		},
+	}}
+	_, _, _, err := c.RunSync(context.Background(), quickJob)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("exhausted retries: %v, want a 503 error", err)
+	}
+	if sleeps != 2 || c.Retries() != 2 || c.Rejected() != 3 {
+		t.Fatalf("sleeps=%d retries=%d rejected=%d, want 2/2/3", sleeps, c.Retries(), c.Rejected())
 	}
 }
 

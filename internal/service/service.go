@@ -4,7 +4,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
-	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +22,13 @@ import (
 // shutting down and accepts no new work.
 var ErrDraining = errors.New("service: draining, not accepting new jobs")
 
+// ErrOverloaded is returned when admission control refuses a submission:
+// the async queue or the sync-waiter pool is full. Because runs are
+// deterministic and content-addressed, a rejected request loses nothing —
+// retrying after backoff converges to the identical answer (the HTTP layer
+// answers 429 with a Retry-After hint; the Client honors it).
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
 // Options configures a Service.
 type Options struct {
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
@@ -34,6 +41,17 @@ type Options struct {
 	CacheDir string
 	// BaseConfig is the configuration jobs override (nil = config.Scaled()).
 	BaseConfig *config.Config
+	// MaxQueue bounds accepted-but-unfinished async submissions; beyond it
+	// Submit returns ErrOverloaded instead of queueing without limit
+	// (0 = unbounded).
+	MaxQueue int
+	// MaxSyncWaiters bounds synchronous cache-miss submissions waiting for
+	// a simulation; beyond it Run returns ErrOverloaded (0 = unbounded).
+	// Cache hits are never refused — serving stored bytes is cheap.
+	MaxSyncWaiters int
+	// Log receives the store's recovery and degradation diagnostics
+	// (nil = os.Stderr).
+	Log io.Writer
 }
 
 // Outcome is the result of one job submission.
@@ -60,10 +78,14 @@ func (o Outcome) ServedWithoutSim() bool { return o.CacheHit || o.Collapsed }
 // Service is the shared run-service core: resolve, cache, collapse, and
 // simulate jobs under a bounded worker pool.
 type Service struct {
-	base   config.Config
-	cache  *Cache
-	flight flightGroup
-	sem    chan struct{}
+	base    config.Config
+	cache   *Cache
+	flight  flightGroup
+	sem     chan struct{}
+	workers int
+
+	maxQueue       int
+	maxSyncWaiters int
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -75,6 +97,9 @@ type Service struct {
 
 	submitted, completed, failed    atomic.Uint64
 	simulations, collapsed, waiting atomic.Uint64
+
+	asyncPending, syncWaiters            atomic.Int64
+	admissionRejected, deadlinesExceeded atomic.Uint64
 }
 
 // New builds a Service.
@@ -83,7 +108,7 @@ func New(opts Options) (*Service, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cache, err := NewCache(opts.CacheEntries, opts.CacheDir)
+	cache, err := NewStore(StoreConfig{Entries: opts.CacheEntries, Dir: opts.CacheDir, Log: opts.Log})
 	if err != nil {
 		return nil, err
 	}
@@ -92,11 +117,14 @@ func New(opts Options) (*Service, error) {
 		base = *opts.BaseConfig
 	}
 	return &Service{
-		base:     base,
-		cache:    cache,
-		sem:      make(chan struct{}, workers),
-		jobs:     make(map[string]*jobState),
-		finished: list.New(),
+		base:           base,
+		cache:          cache,
+		sem:            make(chan struct{}, workers),
+		workers:        workers,
+		maxQueue:       opts.MaxQueue,
+		maxSyncWaiters: opts.MaxSyncWaiters,
+		jobs:           make(map[string]*jobState),
+		finished:       list.New(),
 		// The job table keeps as many finished entries as the cache keeps
 		// bundles; beyond that, Status falls back to the result store.
 		jobsCap: cache.cap,
@@ -144,21 +172,39 @@ func (s *Service) RunResolved(ctx context.Context, r Resolved) (Outcome, error) 
 		return Outcome{}, ErrDraining
 	}
 	defer s.wg.Done()
-	return s.runAccepted(ctx, r)
+	return s.runAccepted(ctx, r, true)
 }
 
 // runAccepted executes an already-accepted job; the caller holds the
-// work unit (acquire) that keeps Wait from returning early.
-func (s *Service) runAccepted(ctx context.Context, r Resolved) (Outcome, error) {
+// work unit (acquire) that keeps Wait from returning early. sync marks
+// request-scoped callers, which the MaxSyncWaiters admission bound applies
+// to (async work is bounded at Submit instead).
+func (s *Service) runAccepted(ctx context.Context, r Resolved, sync bool) (Outcome, error) {
 	s.submitted.Add(1)
 	if data, ok := s.cache.Get(r.Hash); ok {
 		s.completed.Add(1)
 		return Outcome{Hash: r.Hash, Bundle: data, CacheHit: true}, nil
 	}
+	// Admission control for the sync path: a cache miss parks this caller
+	// (its goroutine, connection and buffers) until a simulation finishes;
+	// past the configured bound the memory-safe answer is "retry later",
+	// never an unbounded pile of waiters.
+	if sync && s.maxSyncWaiters > 0 {
+		if n := s.syncWaiters.Add(1); n > int64(s.maxSyncWaiters) {
+			s.syncWaiters.Add(-1)
+			s.admissionRejected.Add(1)
+			s.failed.Add(1)
+			return Outcome{}, ErrOverloaded
+		}
+		defer s.syncWaiters.Add(-1)
+	}
 	out, shared, err := s.flight.do(ctx, r.Hash, func() (Outcome, error) {
 		return s.simulate(ctx, r)
 	})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlinesExceeded.Add(1)
+		}
 		s.failed.Add(1)
 		return Outcome{}, err
 	}
@@ -224,9 +270,10 @@ func (s *Service) runPair(ctx context.Context, r Resolved, st *jobState) (Outcom
 	if err != nil {
 		return Outcome{}, err
 	}
-	if err := s.cache.Put(r.Hash, data); err != nil {
-		return Outcome{}, fmt.Errorf("service: storing result: %w", err)
-	}
+	// Put never fails the job: a disk-write failure degrades the store to
+	// memory-only (counted, logged, visible on /metrics) while this result
+	// is served from memory like any other.
+	s.cache.Put(r.Hash, data)
 	return Outcome{Hash: r.Hash, Bundle: data, Result: &pr.Result}, nil
 }
 
@@ -385,22 +432,43 @@ func (s *Service) Submit(ctx context.Context, job Job) (JobStatus, error) {
 	}
 	s.mu.Unlock()
 	if launch {
-		if !s.acquire() {
-			// Drain raced the submission: roll back the queued entry (if
-			// still ours) instead of leaving a job no goroutine will run.
+		rollback := func() {
 			s.mu.Lock()
 			if cur, ok := s.jobs[r.Hash]; ok && cur == st {
 				delete(s.jobs, r.Hash)
 			}
 			s.mu.Unlock()
+		}
+		// Admission control for the async path: every accepted submission
+		// is a goroutine plus a job-table entry until it finishes, so the
+		// queue bound is what keeps a load spike from growing the heap
+		// without limit. Add-then-check keeps the bound exact under
+		// concurrent submissions. Identical re-submissions never get here —
+		// they reuse the existing entry above and cost nothing.
+		if s.maxQueue > 0 {
+			if n := s.asyncPending.Add(1); n > int64(s.maxQueue) {
+				s.asyncPending.Add(-1)
+				s.admissionRejected.Add(1)
+				rollback()
+				return JobStatus{}, ErrOverloaded
+			}
+		} else {
+			s.asyncPending.Add(1)
+		}
+		if !s.acquire() {
+			// Drain raced the submission: roll back the queued entry (if
+			// still ours) instead of leaving a job no goroutine will run.
+			s.asyncPending.Add(-1)
+			rollback()
 			return JobStatus{}, ErrDraining
 		}
 		go func() {
 			defer s.wg.Done()
+			defer s.asyncPending.Add(-1)
 			// runAccepted, not RunResolved: this goroutine already holds an
 			// accepted work unit, and a Drain between Submit and here must
 			// not fail a job the service promised to run.
-			out, err := s.runAccepted(ctx, r)
+			out, err := s.runAccepted(ctx, r, false)
 			if st.finish(out, err) {
 				s.retire(st)
 			}
@@ -464,6 +532,15 @@ func (s *Service) MetricsSnapshot() sim.Snapshot {
 	st.Counter("cache.misses").Add(cs.Misses)
 	st.Counter("cache.evictions").Add(cs.Evictions)
 	st.Counter("cache.entries").Add(uint64(cs.Entries))
+	st.Counter("cache.corrupt").Add(cs.Corrupt)
+	st.Counter("cache.quarantined").Add(cs.Quarantined)
+	st.Counter("cache.diskError").Add(cs.DiskErrors)
+	st.Counter("cache.recoveredTmp").Add(cs.RecoveredTmp)
+	if cs.Degraded {
+		st.Counter("cache.degraded").Add(1)
+	} else {
+		st.Counter("cache.degraded").Add(0)
+	}
 	st.Counter("jobs.submitted").Add(s.submitted.Load())
 	st.Counter("jobs.completed").Add(s.completed.Load())
 	st.Counter("jobs.failed").Add(s.failed.Load())
@@ -471,7 +548,23 @@ func (s *Service) MetricsSnapshot() sim.Snapshot {
 	st.Counter("jobs.simulations").Add(s.simulations.Load())
 	st.Counter("queue.running").Add(uint64(len(s.sem)))
 	st.Counter("queue.waiting").Add(s.waiting.Load())
+	st.Counter("queue.queued").Add(uint64(max(0, s.asyncPending.Load())))
+	st.Counter("queue.syncWaiters").Add(uint64(max(0, s.syncWaiters.Load())))
+	st.Counter("admission.rejected").Add(s.admissionRejected.Load())
+	st.Counter("deadline.exceeded").Add(s.deadlinesExceeded.Load())
 	return st.Snapshot()
+}
+
+// RetryAfter suggests how many seconds a rejected client should back off
+// before resubmitting, scaled to the current backlog per worker. It is the
+// value behind the HTTP Retry-After header on 429/503 responses.
+func (s *Service) RetryAfter() int {
+	backlog := int(s.waiting.Load()) + int(s.asyncPending.Load())
+	secs := 1 + backlog/s.workers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Simulations reports how many simulations have actually executed — the

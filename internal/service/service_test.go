@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"baryon/internal/config"
+	"baryon/internal/report"
 )
 
 // quickConfig is a base configuration small enough that a full simulation
@@ -34,6 +35,30 @@ func quickService(t *testing.T, opts Options) *Service {
 }
 
 var quickJob = Job{Design: "Baryon", Workload: "505.mcf_r", Seed: 1}
+
+// fakeBundle builds a minimal valid store entry: canonical bundle bytes
+// whose recorded and recomputed spec hash agree, so the verified disk layer
+// accepts it without running a simulation.
+func fakeBundle(t *testing.T, seed uint64) (hash string, data []byte) {
+	t.Helper()
+	key := report.SpecKey{Workload: "synthetic", Seed: seed}
+	h, err := key.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := report.Bundle{
+		Schema:   report.SchemaVersion,
+		SpecHash: h,
+		Spec:     key,
+		Counters: map[string]uint64{"x": seed},
+		Floats:   map[string]float64{},
+	}
+	d, err := b.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, d
+}
 
 // TestRunCacheHit pins the core cache contract: the second identical
 // submission is a hit, costs no simulation, and returns byte-identical
@@ -134,11 +159,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	put := func(h string) {
-		if err := c.Put(h, []byte(h+"-bytes")); err != nil {
-			t.Fatal(err)
-		}
-	}
+	put := func(h string) { c.Put(h, []byte(h+"-bytes")) }
 	put("sha256:a")
 	put("sha256:b")
 	if _, ok := c.Get("sha256:a"); !ok { // touch a: b becomes LRU
@@ -209,11 +230,8 @@ func TestCacheConcurrentDiskGet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const hash = "sha256:deadbeef"
-	want := []byte("bundle-bytes")
-	if err := seed.Put(hash, want); err != nil {
-		t.Fatal(err)
-	}
+	hash, want := fakeBundle(t, 7)
+	seed.Put(hash, want)
 
 	c, err := NewCache(4, dir) // cold: memory empty, bundle on disk
 	if err != nil {
@@ -468,6 +486,187 @@ func TestStatusFromStoreAfterRestart(t *testing.T) {
 	}
 	if _, ok := s2.Status("sha256:unknown"); ok {
 		t.Fatal("unknown hash reported a status")
+	}
+}
+
+// fillWorkers occupies every worker-pool slot so the next simulation blocks
+// at the pool, and returns the (idempotent) release function.
+func fillWorkers(s *Service) func() {
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := 0; i < cap(s.sem); i++ {
+				<-s.sem
+			}
+		})
+	}
+}
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSyncAdmissionBound pins the sync-waiter bound: with the pool saturated
+// and the one allowed waiter parked, the next cache-miss run is refused with
+// ErrOverloaded immediately — but a cache hit is never refused.
+func TestSyncAdmissionBound(t *testing.T) {
+	s := quickService(t, Options{Workers: 1, MaxSyncWaiters: 1})
+	ctx := context.Background()
+	release := fillWorkers(s)
+	t.Cleanup(release)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(ctx, quickJob)
+		done <- err
+	}()
+	waitCond(t, "the first run to park as a sync waiter", func() bool {
+		return s.syncWaiters.Load() == 1
+	})
+	over := quickJob
+	over.Seed = 2
+	if _, err := s.Run(ctx, over); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("run past the waiter bound: %v, want ErrOverloaded", err)
+	}
+	if n := s.admissionRejected.Load(); n != 1 {
+		t.Fatalf("admission.rejected = %d, want 1", n)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("parked run failed after workers freed: %v", err)
+	}
+
+	// Saturate the bound again; a hit for the now-cached job must still land:
+	// serving stored bytes parks nothing.
+	release2 := fillWorkers(s)
+	t.Cleanup(release2)
+	done2 := make(chan error, 1)
+	go func() {
+		miss := quickJob
+		miss.Seed = 3
+		_, err := s.Run(ctx, miss)
+		done2 <- err
+	}()
+	waitCond(t, "the second waiter to park", func() bool {
+		return s.syncWaiters.Load() == 1
+	})
+	out, err := s.Run(ctx, quickJob)
+	if err != nil || !out.CacheHit {
+		t.Fatalf("cache hit refused at the waiter bound: %+v, %v", out, err)
+	}
+	release2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second parked run: %v", err)
+	}
+}
+
+// TestAsyncQueueBound pins the async admission bound: beyond MaxQueue
+// accepted-but-unfinished submissions, Submit refuses with ErrOverloaded;
+// identical re-submissions reuse the existing entry and are never refused;
+// once the queue drains, the refused job is admitted.
+func TestAsyncQueueBound(t *testing.T) {
+	s := quickService(t, Options{Workers: 1, MaxQueue: 1})
+	ctx := context.Background()
+	release := fillWorkers(s)
+	t.Cleanup(release)
+
+	st, err := s.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := quickJob
+	over.Seed = 2
+	if _, err := s.Submit(ctx, over); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit past the queue bound: %v, want ErrOverloaded", err)
+	}
+	if _, err := s.Submit(ctx, quickJob); err != nil {
+		t.Fatalf("identical re-submission refused: %v", err)
+	}
+	if n := s.admissionRejected.Load(); n != 1 {
+		t.Fatalf("admission.rejected = %d, want 1", n)
+	}
+
+	release()
+	waitCond(t, "the accepted job to finish", func() bool {
+		cur, ok := s.Status(st.Hash)
+		return ok && cur.State == StateDone
+	})
+	waitCond(t, "the refused job to be admitted", func() bool {
+		_, err := s.Submit(ctx, over)
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("resubmit: %v", err)
+		}
+		return err == nil
+	})
+}
+
+// TestDrainUnderRejectedSubmissions drives Drain concurrently with a burst of
+// submissions against a full queue: every refusal must be ErrOverloaded or
+// ErrDraining, Wait must return, and the one accepted job must complete.
+func TestDrainUnderRejectedSubmissions(t *testing.T) {
+	s := quickService(t, Options{Workers: 1, MaxQueue: 1})
+	ctx := context.Background()
+	release := fillWorkers(s)
+	t.Cleanup(release)
+
+	st, err := s.Submit(ctx, quickJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			<-start
+			job := quickJob
+			job.Seed = seed
+			if _, err := s.Submit(ctx, job); err != nil &&
+				!errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDraining) {
+				t.Errorf("submit seed %d: %v", seed, err)
+			}
+		}(uint64(g + 2))
+	}
+	close(start)
+	s.Drain()
+	release()
+	wg.Wait()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Wait(wctx); err != nil {
+		t.Fatalf("Wait under rejected submissions: %v", err)
+	}
+	cur, ok := s.Status(st.Hash)
+	if !ok || cur.State != StateDone {
+		t.Fatalf("accepted job after drain = %+v, %v; want done", cur, ok)
+	}
+}
+
+// TestDeadlineExceededCounted: a run whose budget expires while queued for a
+// worker fails with DeadlineExceeded and increments the deadline counter.
+func TestDeadlineExceededCounted(t *testing.T) {
+	s := quickService(t, Options{Workers: 1})
+	release := fillWorkers(s)
+	t.Cleanup(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Run(ctx, quickJob); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("run with an expired budget: %v, want DeadlineExceeded", err)
+	}
+	if n := s.deadlinesExceeded.Load(); n != 1 {
+		t.Fatalf("deadline.exceeded = %d, want 1", n)
 	}
 }
 

@@ -1,0 +1,168 @@
+#!/bin/sh
+# Chaos smoke test: the crash-safety and overload contract of cmd/baryonsimd.
+# Everything here is deliberately hostile — kill -9 mid-flight, corrupt and
+# truncated store entries, an open-loop request flood past capacity — and the
+# service must come back serving byte-identical results every time:
+#   1. reference pass: a fresh daemon computes a 2-job mix; the bundles are
+#      dumped as the byte-identity reference for every later phase;
+#   2. crash recovery: kill -9 the daemon with requests in flight and a
+#      planted orphan .tmp in the store; the restarted daemon's recovery scan
+#      sweeps it and serves the full mix from disk, byte-identical, without
+#      simulating;
+#   3. corruption self-heal: flip a byte in one published bundle and truncate
+#      another; the next daemon quarantines both on read, recomputes, and
+#      still answers byte-identically (quarantine counters visible on
+#      /metrics);
+#   4. overload shedding: a one-worker daemon with tight admission bounds is
+#      flooded open-loop; it must shed load with 429s (clients observe
+#      rejections), every request must converge via retries (zero final
+#      failures), and the daemon must still drain cleanly on SIGTERM.
+# Loopback only — the smoke passes offline. The same failure modes are
+# covered in-process by internal/service's FaultFS tests; this script is the
+# end-to-end check against a real filesystem and a real kill -9.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/baryonsimd" ./cmd/baryonsimd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/omlint" ./cmd/omlint
+
+# start_daemon LOGFILE CACHEDIR [extra flags...]: launches the daemon on an
+# ephemeral port and sets $pid/$addr from the announced listener line.
+start_daemon() {
+    log=$1; cachedir=$2; shift 2
+    "$tmp/baryonsimd" -addr 127.0.0.1:0 -cache-dir "$cachedir" "$@" 2>"$log" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's|^baryonsimd listening on http://\(.*\)$|\1|p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: baryonsimd never announced its listener" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+# assert_identical DIR: every reference bundle must exist in DIR with
+# byte-identical content.
+assert_identical() {
+    for ref in "$tmp/ref"/*.json; do
+        got="$1/$(basename "$ref")"
+        if [ ! -f "$got" ]; then
+            echo "FAIL: $1 is missing $(basename "$ref")" >&2
+            exit 1
+        fi
+        if ! cmp -s "$ref" "$got"; then
+            echo "FAIL: $(basename "$ref") differs from the reference bytes in $1" >&2
+            exit 1
+        fi
+    done
+}
+
+# 1. Reference pass: compute the 2-job mix and capture its bundles.
+start_daemon "$tmp/d1.err" "$tmp/cache"
+trap 'kill -9 "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+"$tmp/loadgen" -addr "http://$addr" -clients 2 -requests 8 -seeds 2 \
+    -accesses 2000 -verify-bytes -dump-dir "$tmp/ref" >"$tmp/pass1.out"
+cat "$tmp/pass1.out"
+if [ "$(ls "$tmp/ref"/*.json | wc -l)" -ne 2 ]; then
+    echo "FAIL: reference pass dumped $(ls "$tmp/ref" | wc -l) bundles, want 2" >&2
+    exit 1
+fi
+
+# 2. Crash recovery: kill -9 with fresh work in flight, plant an orphan .tmp
+# (what a crash between write and rename leaves), and restart.
+"$tmp/loadgen" -addr "http://$addr" -clients 2 -requests 8 -seeds 4 \
+    -accesses 2000 >/dev/null 2>&1 &
+lg=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null
+wait "$lg" 2>/dev/null || true # in-flight requests may fail; that's the point
+printf 'torn half-written bundle' >"$tmp/cache/sha256-feedface.bundle.json.tmp"
+
+start_daemon "$tmp/d2.err" "$tmp/cache"
+if ! grep -q "store recovery" "$tmp/d2.err"; then
+    echo "FAIL: restarted daemon logged no recovery scan" >&2
+    cat "$tmp/d2.err" >&2
+    exit 1
+fi
+if ! grep -Eq "swept [1-9][0-9]* orphaned tmp" "$tmp/d2.err"; then
+    echo "FAIL: recovery scan did not sweep the planted orphan tmp" >&2
+    cat "$tmp/d2.err" >&2
+    exit 1
+fi
+"$tmp/loadgen" -addr "http://$addr" -clients 2 -requests 8 -seeds 2 \
+    -accesses 2000 -verify-bytes -min-hit-rate 1.0 -dump-dir "$tmp/after_crash" \
+    >"$tmp/pass2.out"
+cat "$tmp/pass2.out"
+assert_identical "$tmp/after_crash"
+
+# 3. Corruption self-heal: rot two published bundles on disk, restart (the
+# live daemon would serve them from memory), and re-request the mix.
+kill -9 "$pid" 2>/dev/null
+wait "$pid" 2>/dev/null || true
+# Rot exactly the two bundles the mix will re-request (the reference dump
+# names them); the cache dir also holds bundles from the crash phase's wider
+# mix that phase 3 never reads.
+set -- "$tmp/ref"/*.json
+f1="$tmp/cache/$(basename "$1" .json).bundle.json"
+f2="$tmp/cache/$(basename "$2" .json).bundle.json"
+printf 'X' | dd of="$f1" bs=1 seek=100 conv=notrunc 2>/dev/null
+head -c 50 "$f2" >"$tmp/truncated" && mv "$tmp/truncated" "$f2"
+
+start_daemon "$tmp/d3.err" "$tmp/cache"
+"$tmp/loadgen" -addr "http://$addr" -clients 2 -requests 8 -seeds 2 \
+    -accesses 2000 -verify-bytes -dump-dir "$tmp/after_corrupt" >"$tmp/pass3.out"
+cat "$tmp/pass3.out"
+assert_identical "$tmp/after_corrupt"
+if [ "$(ls "$tmp/cache/quarantine" | wc -l)" -lt 2 ]; then
+    echo "FAIL: corrupt entries were not quarantined" >&2
+    ls -la "$tmp/cache" >&2
+    exit 1
+fi
+"$tmp/omlint" -dump ok -url "http://$addr/metrics" >"$tmp/d3.metrics" 2>/dev/null
+q=$(awk '$1 == "baryon_cache_quarantined_total" {print $2}' "$tmp/d3.metrics")
+if [ -z "$q" ] || [ "$q" -lt 2 ]; then
+    echo "FAIL: /metrics reports quarantined=$q, want >= 2" >&2
+    exit 1
+fi
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: daemon did not drain after corruption recovery" >&2; exit 1; }
+trap 'rm -rf "$tmp"' EXIT
+
+# 4. Overload shedding: one worker, tight admission bounds, open-loop flood
+# at 300 req/s over a cold 2-job mix. The daemon must answer 429s (clients
+# see rejections) and every request must converge via retries.
+start_daemon "$tmp/d4.err" "$tmp/cache-overload" \
+    -workers 1 -max-queue 2 -max-sync-waiters 2
+trap 'kill -9 "$pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+"$tmp/loadgen" -addr "http://$addr" -requests 60 -seeds 2 -accesses 20000 \
+    -overload 300 -retries 6 -max-reject-rate 0 -verify-bytes \
+    >"$tmp/pass4.out" 2>"$tmp/pass4.err" || {
+    echo "FAIL: overloaded requests did not converge to success" >&2
+    cat "$tmp/pass4.out" "$tmp/pass4.err" >&2
+    exit 1
+}
+cat "$tmp/pass4.out"
+rej=$(sed -n 's/.*rejected=\([0-9]*\).*/\1/p' "$tmp/pass4.out")
+if [ -z "$rej" ] || [ "$rej" -eq 0 ]; then
+    echo "FAIL: open-loop flood saw no rejections — admission control never engaged" >&2
+    cat "$tmp/d4.err" >&2
+    exit 1
+fi
+"$tmp/omlint" -dump ok -url "http://$addr/metrics" >"$tmp/d4.metrics" 2>/dev/null
+srv_rej=$(awk '$1 == "baryon_admission_rejected_total" {print $2}' "$tmp/d4.metrics")
+if [ -z "$srv_rej" ] || [ "$srv_rej" -eq 0 ]; then
+    echo "FAIL: server-side admission.rejected is zero despite client rejections" >&2
+    exit 1
+fi
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: daemon did not drain cleanly after the flood" >&2; exit 1; }
+trap 'rm -rf "$tmp"' EXIT
+
+echo "chaos-smoke OK: kill -9 recovery, corruption quarantine + self-heal, overload shed $rej rejections (server $srv_rej) with full convergence on $addr"
